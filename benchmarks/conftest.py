@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table/figure: it runs the
+experiment driver once (timed by pytest-benchmark), prints the rows the
+paper reports, and asserts the qualitative shape (who wins, roughly by
+how much).  Absolute numbers differ from the paper -- our substrate is a
+Python model, not the authors' RTL/testbed -- but orderings and
+crossovers are asserted.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full harness execution (no warmup repetition)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _runner

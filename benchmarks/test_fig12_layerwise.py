@@ -1,0 +1,51 @@
+"""Fig. 12 -- layer-wise speedup and normalized EDP vs sparsity degree.
+
+Paper: averaged over the ResNet-50/BERT layers and sparsity degrees,
+TB-STC is 1.55x / 1.29x / 1.21x / 1.06x faster than STC / VEGETA /
+HighLight / RM-STC, improves EDP 1.41x over HighLight and 1.75x over
+RM-STC.  We assert the ordering and that the ratios land in the right
+bands.
+"""
+
+import numpy as np
+
+from repro.analysis import render_dict_table, run_fig12_layerwise
+from repro.workloads import bert_layers, resnet50_layers
+
+
+def test_fig12(once):
+    layers = [resnet50_layers()[8], bert_layers()[2]]
+    res = once(run_fig12_layerwise, layers=layers, sparsities=(0.5, 0.625, 0.75, 0.875), scale=2)
+    for layer_name, table in res.items():
+        print()
+        print(render_dict_table(table, key_header=layer_name, title=f"Fig. 12 -- {layer_name}"))
+
+    speedup_ratio = {n: [] for n in ("STC", "VEGETA", "HighLight", "RM-STC")}
+    edp_ratio = {n: [] for n in ("STC", "VEGETA", "HighLight", "RM-STC")}
+    for table in res.values():
+        for key, row in table.items():
+            if key.startswith("speedup@"):
+                for name in speedup_ratio:
+                    speedup_ratio[name].append(row["TB-STC"] / row[name])
+            elif key.startswith("edp@"):
+                for name in edp_ratio:
+                    edp_ratio[name].append(row[name] / row["TB-STC"])
+
+    means = {n: float(np.mean(v)) for n, v in speedup_ratio.items()}
+    print("\nTB-STC mean speedup over baselines:", {k: round(v, 2) for k, v in means.items()})
+
+    # TB-STC is the fastest design on average against every baseline
+    # (paper: 1.55x/1.29x/1.21x/1.06x).
+    for name, ratio in means.items():
+        assert ratio > 1.0, f"TB-STC not faster than {name}"
+    # RM-STC is the closest competitor in raw speed.
+    assert means["RM-STC"] == min(means.values())
+    assert means["RM-STC"] < 1.4
+
+    edp_means = {n: float(np.mean(v)) for n, v in edp_ratio.items()}
+    print("baseline EDP / TB-STC EDP:", {k: round(v, 2) for k, v in edp_means.items()})
+    # TB-STC improves EDP over every baseline; RM-STC pays the
+    # unstructured energy premium despite similar speed (paper: 1.75x).
+    for name, ratio in edp_means.items():
+        assert ratio > 1.0, f"TB-STC EDP not better than {name}"
+    assert edp_means["RM-STC"] > 1.2

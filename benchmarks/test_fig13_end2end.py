@@ -1,0 +1,38 @@
+"""Fig. 13 -- end-to-end iso-accuracy speedup and normalized EDP.
+
+Paper: at equal accuracy the flexible TBS pattern runs sparser models,
+so TB-STC gains 1.22x speedup / 1.62x EDP over HighLight and 1.06x /
+1.92x over RM-STC on ResNet-50, BERT and OPT-6.7B inference.
+"""
+
+import numpy as np
+
+from repro.analysis import render_dict_table, run_fig13_end2end
+
+
+def test_fig13(once):
+    res = once(run_fig13_end2end, models=("resnet50", "bert", "opt-6.7b"), scale=8)
+    for model, table in res.items():
+        print()
+        print(render_dict_table(table, key_header=model, title=f"Fig. 13 -- {model} end-to-end"))
+
+    for model, table in res.items():
+        speedups = table["speedup"]
+        edps = table["edp"]
+        # TB-STC is at worst in a statistical tie for fastest (paper:
+        # only 1.06x over RM-STC; memory-bound CNN layers tie them).
+        assert speedups["TB-STC"] >= 0.95 * max(speedups.values()), model
+        # TB-STC has the lowest normalized EDP on every model -- the
+        # paper's headline metric.
+        assert edps["TB-STC"] == min(edps.values()), model
+
+    # Iso-accuracy amplifies the gap over the structured baselines
+    # because TBS runs the sparser model (paper: 1.22x over HighLight).
+    gains = [res[m]["speedup"]["TB-STC"] / res[m]["speedup"]["HighLight"] for m in res]
+    assert np.mean(gains) > 1.1
+
+    # RM-STC remains the closest in speed but clearly worse in EDP
+    # (paper: 1.92x; our energy model is DRAM-heavier, so the gap is
+    # smaller but consistently above 1.1x).
+    edp_gap = [res[m]["edp"]["RM-STC"] / res[m]["edp"]["TB-STC"] for m in res]
+    assert np.mean(edp_gap) > 1.1

@@ -1,0 +1,34 @@
+"""Fig. 18 -- training-loss convergence: dense vs US vs TBS.
+
+Paper: TBS training converges to almost the same loss as dense
+training; US needs more training overhead (larger search space).
+"""
+
+import numpy as np
+
+from repro.analysis import run_fig18_convergence
+
+
+def test_fig18(once):
+    curves = once(run_fig18_convergence, task="mlp", sparsity=0.75, epochs=14, seed=0)
+    print()
+    for name in ("dense", "US", "TBS"):
+        head = ", ".join(f"{v:.3f}" for v in curves[name][:4])
+        print(f"{name:6s} loss: [{head}, ...] -> {curves[name][-1]:.4f}")
+
+    dense_final = curves["dense"][-1]
+    tbs_final = curves["TBS"][-1]
+    us_final = curves["US"][-1]
+
+    # Everyone converges (loss decreases substantially).
+    for name in ("dense", "US", "TBS"):
+        assert curves[name][-1] < 0.5 * curves[name][0]
+
+    # TBS reaches almost the dense loss (paper: "almost the same loss").
+    assert tbs_final < dense_final + 0.25
+    # Sparse runs cannot beat dense by a margin.
+    assert min(tbs_final, us_final) > dense_final - 0.05
+
+    # The TBS sparsity schedule reaches and holds the target.
+    sparsity = curves["TBS_sparsity"]
+    assert abs(sparsity[-1] - 0.75) < 0.08

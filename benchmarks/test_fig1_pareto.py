@@ -1,0 +1,39 @@
+"""Fig. 1 -- the accuracy-EDP Pareto frontier.
+
+Paper: TB-STC's points dominate the baselines' -- it offers the best
+accuracy at any EDP budget on the BERT/sst-2 workload.  We reproduce
+with the encoder proxy: TB-STC must contribute to the frontier and no
+TB-STC point may be dominated by any *other* design's point.
+"""
+
+from repro.analysis import render_table, run_fig1_pareto
+from repro.analysis.pareto import dominates, hypervolume_2d
+
+
+def test_fig1(once):
+    res = once(run_fig1_pareto, seeds=(0, 1), sparsities=(0.5, 0.75), epochs=10, scale=4)
+    points = res["points"]
+    frontier = res["frontier"]
+    print()
+    print(render_table(
+        ["design", "EDP (J*s)", "accuracy"],
+        [[p.label, f"{p.cost:.3e}", f"{p.quality:.3f}"] for p in sorted(points, key=lambda p: p.cost)],
+        title="Fig. 1 -- accuracy vs EDP design points",
+    ))
+    print("frontier:", [p.label for p in frontier])
+
+    # TB-STC contributes to the Pareto frontier.
+    assert any(p.label.startswith("TB-STC") for p in frontier)
+
+    # No TB-STC point is dominated by a non-TB-STC point.
+    tb_points = [p for p in points if p.label.startswith("TB-STC")]
+    others = [p for p in points if not p.label.startswith("TB-STC")]
+    for tb in tb_points:
+        assert not any(dominates(o, tb) for o in others), tb.label
+
+    # The TB-STC frontier dominates more area than any single baseline's.
+    ref_cost = max(p.cost for p in points) * 1.01
+    hv_tb = hypervolume_2d(tb_points, ref_cost)
+    for name in ("STC", "VEGETA", "HighLight", "RM-STC"):
+        base_points = [p for p in points if p.label.startswith(name)]
+        assert hv_tb >= hypervolume_2d(base_points, ref_cost), name

@@ -1,0 +1,26 @@
+"""Fig. 6(d) -- datapath power: RM-STC's unstructured machinery vs TB-STC.
+
+Paper: RM-STC's gather/union modules burden the datapath; TB-STC's
+TBS-specific units are far cheaper (and only 1.57% vs ~1.8% A100 area).
+"""
+
+import pytest
+
+from repro.analysis import run_fig6_datapath_power
+from repro.hw.area import a100_overhead_percent
+from repro.hw.config import rm_stc, tb_stc
+
+
+def test_fig6(once):
+    res = once(run_fig6_datapath_power)
+    print()
+    print(f"TB-STC datapath power: {res['TB-STC_mw']:.2f} mW")
+    print(f"RM-STC datapath power: {res['RM-STC_mw']:.2f} mW  ({res['ratio']:.2f}x)")
+
+    # The unstructured datapath costs substantially more power.
+    assert res["ratio"] > 1.5
+    # TB-STC itself stays on the Table III budget.
+    assert res["TB-STC_mw"] == pytest.approx(200.59, rel=0.01)
+    # Area ordering: TB-STC (1.57%) adds less than RM-STC-style overhead
+    # (paper: about 1.8%).
+    assert a100_overhead_percent(tb_stc()) < 1.8

@@ -1,0 +1,39 @@
+"""Table I -- sparse-training accuracy comparison across patterns.
+
+Paper (ResNet-50/18 at 75%, BERT at 50%): TBS is 0.85%-1.03% more
+accurate than the other structured patterns and within 0.17% of US.
+Our proxies reproduce the ordering: Dense ~ US >= TBS > {RS-V, RS-H, TS}
+on the capacity-tight CNN task, with the average across tasks placing
+TBS on top of the structured family.
+"""
+
+import numpy as np
+
+from repro.analysis import render_dict_table, run_table1
+
+STRUCTURED = ("TS", "RS_V", "RS_H")
+
+
+def test_table1(once):
+    res = once(run_table1, seeds=(0, 1, 2), epochs=12)
+    print()
+    print(render_dict_table(res, key_header="proxy task", title="Table I -- accuracy with retraining"))
+
+    for task, row in res.items():
+        # Sanity: every configuration actually learned the task.
+        assert all(acc > 0.5 for acc in row.values()), task
+        # No structured pattern beats dense training by a margin.
+        assert row["Dense"] >= max(row[name] for name in STRUCTURED) - 0.05, task
+
+    # On the capacity-tight CNN proxy (the paper's ResNet setting) the
+    # full ordering emerges: TBS beats every other structured pattern.
+    cnn = res["cnn"]
+    for name in STRUCTURED:
+        assert cnn["TBS"] >= cnn[name], f"TBS below {name} on the CNN task"
+    # ...and stays within a small gap of unstructured (paper: 0.17%).
+    assert cnn["US"] - cnn["TBS"] < 0.05
+
+    # Averaged across tasks TBS leads the structured family.
+    mean = lambda name: np.mean([row[name] for row in res.values()])
+    assert mean("TBS") >= max(mean(name) for name in STRUCTURED) - 0.01
+    assert mean("US") - mean("TBS") < 0.04

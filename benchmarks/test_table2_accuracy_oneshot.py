@@ -1,0 +1,61 @@
+"""Table II -- one-shot pruning accuracy (Wanda / SparseGPT criteria).
+
+Paper (OPT-6.7B / Llama2-7B at 50%): TBS improves average accuracy by
+2.58% over TS and narrows the structured-vs-unstructured gap from
+2.58-3.24% down to 0.66%.
+
+Our proxies: dense-trained linear/attention networks pruned one-shot
+(no retraining) under both criteria.  At proxy scale the per-pattern
+deltas sit near the test-set resolution, so the assertions are
+noise-robust: TBS's gap to US is never worse than the structured
+family's worst gap, TBS beats the weakest structured pattern, and the
+ordering is reproduced under *both* criteria (the orthogonality claim).
+The clean, high-resolution separation evidence lives in the Fig. 4
+mask-similarity benchmark, which measures the same mechanism without
+training noise.
+"""
+
+import numpy as np
+
+from repro.analysis import render_dict_table, run_table2
+
+STRUCTURED = ("TS", "RS_V", "RS_H")
+
+
+def test_table2(once):
+    res = once(
+        run_table2,
+        tasks=(("mlp", 0.625), ("encoder", 0.5)),
+        criteria=("wanda", "sparsegpt"),
+        seeds=(0, 1, 2, 3),
+        epochs=12,
+    )
+    print()
+    print(render_dict_table(res, key_header="proxy/criterion", title="Table II -- one-shot pruning accuracy"))
+
+    mean = lambda name: float(np.mean([row[name] for row in res.values()]))
+    means = {name: mean(name) for name in ("Dense", "US", "TBS") + STRUCTURED}
+    print("means:", {k: round(v, 4) for k, v in means.items()})
+
+    # Everything still works after one-shot pruning (linear proxies do
+    # not collapse the way BN-coupled convolutions would).
+    assert all(acc > 0.6 for row in res.values() for acc in row.values())
+
+    # The structured-vs-unstructured gap: TBS is never the worst
+    # structured pattern, and its gap to US stays small (paper: 0.66%).
+    gap = lambda name: means["US"] - means[name]
+    assert gap("TBS") <= max(gap(name) for name in STRUCTURED) + 1e-9
+    assert gap("TBS") < 0.05
+
+    # TBS stays within noise of the best structured pattern and clearly
+    # above the weakest one.
+    assert means["TBS"] >= max(means[name] for name in STRUCTURED) - 0.02
+    assert means["TBS"] > min(means[name] for name in STRUCTURED)
+
+    # Orthogonality: the same relations hold under each criterion alone.
+    for criterion in ("wanda", "sparsegpt"):
+        crit_mean = lambda name: float(
+            np.mean([row[name] for key, row in res.items() if key.endswith(criterion)])
+        )
+        assert crit_mean("TBS") >= max(crit_mean(name) for name in STRUCTURED) - 0.03
+        assert crit_mean("US") - crit_mean("TBS") < 0.06

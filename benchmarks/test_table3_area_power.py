@@ -1,0 +1,31 @@
+"""Table III -- area and power breakdown of TB-STC.
+
+Paper values: DVPE array 1.43 mm^2 / 197.71 mW, codec 0.03 mm^2 /
+2.19 mW, MBD 0.01 mm^2 / 0.69 mW, total 1.47 mm^2 / 200.59 mW at 1 GHz,
+and a 1.57% area overhead when integrated at A100 scale.
+"""
+
+import pytest
+
+from repro.analysis import render_dict_table, run_table3
+
+
+def test_table3(once):
+    res = once(run_table3)
+    print()
+    print(render_dict_table(
+        {"area_mm2": res["area_mm2"], "power_mw": res["power_mw"]},
+        key_header="metric",
+        title="Table III -- TB-STC area and power breakdown",
+    ))
+
+    area = res["area_mm2"]
+    power = res["power_mw"]
+    # Component totals match the paper within 1%.
+    assert area["Total"] == pytest.approx(1.47, rel=0.01)
+    assert power["Total"] == pytest.approx(200.59, rel=0.01)
+    # The DVPE array dominates both budgets (97.28% / 98.57%).
+    assert area["DVPE Array"] / area["Total"] > 0.95
+    assert power["DVPE Array"] / power["Total"] > 0.97
+    # A100-scale integration: 1.57% of the die.
+    assert res["a100_overhead_percent"]["value"] == pytest.approx(1.57, rel=0.02)

@@ -1,0 +1,28 @@
+"""repro -- a from-scratch reproduction of TB-STC (HPCA 2025).
+
+TB-STC is a *Transposable Block-wise N:M Structured Sparse Tensor Core*:
+a sparsity pattern (TBS) that applies N:M structure per ``M x M`` block in
+either the reduction or the independent dimension, plus the tensor-core
+micro-architecture that executes it efficiently.
+
+Package layout
+--------------
+* :mod:`repro.core`      -- TBS pattern, Algorithm 1, mask-space math.
+* :mod:`repro.formats`   -- sparse storage formats (CSR, SDC, DDC) and the
+  codec's storage<->computation format conversion.
+* :mod:`repro.hw`        -- hardware component models: DVPE, codec, MBD,
+  scheduler, DRAM, energy and area.
+* :mod:`repro.sim`       -- cycle-level simulators of TB-STC and all the
+  baselines (TC, STC, VEGETA, HighLight, RM-STC, SGCN, DVPE+FAN).
+* :mod:`repro.nn`        -- numpy neural-network substrate for the sparse
+  training and one-shot pruning accuracy experiments.
+* :mod:`repro.workloads` -- layer/model GEMM workloads and synthetic
+  sparse-weight generation.
+* :mod:`repro.analysis`  -- Pareto frontiers, experiment drivers, tables.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

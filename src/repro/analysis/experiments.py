@@ -1,0 +1,569 @@
+"""High-level experiment drivers -- one per paper table/figure.
+
+Every driver is deterministic given its seed(s), returns plain dicts the
+benchmarks/examples can assert on and render, and accepts size knobs so
+the benches run in seconds while the examples can run bigger instances.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.criteria import sparsegpt_scores, wanda_scores
+from ..core.masks import unstructured_mask
+from ..core.maskspace import maskspace_table
+from ..core.patterns import PatternFamily
+from ..core.similarity import direction_distribution, pattern_similarity_sweep
+from ..core.sparsify import tbs_sparsify
+from ..formats.memory_model import compare_formats
+from ..hw.area import a100_overhead_percent, area_breakdown
+from ..hw.config import tb_stc
+from ..hw.energy import EnergyModel
+from ..nn.data import cluster_dataset, image_dataset, sequence_dataset
+from ..nn.layers import Conv2d, Linear
+from ..nn.models import TransformerClassifier, make_cnn, make_mlp, prunable_layers
+from ..nn.quantize import quantize_model
+from ..nn.train import evaluate, one_shot_prune, train
+from ..sim.baselines import ARCH_FAMILY, arch_by_name, simulate_arch
+from ..sim.breakdown import codec_overhead_fraction, cycle_breakdown
+from ..sim.engine import simulate
+from ..sim.metrics import SimResult, aggregate, normalized_edp, speedup
+from ..workloads.generator import build_workload, synthetic_weights
+from ..workloads.layers import LayerSpec, bert_layers, resnet50_layers
+from ..workloads.models import build_model_workload
+from .pareto import ParetoPoint, pareto_frontier
+
+__all__ = [
+    "ACCURACY_FAMILIES",
+    "snapshot_params",
+    "restore_params",
+    "capture_layer_inputs",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig1_pareto",
+    "run_fig4_maskspace",
+    "run_fig6_datapath_power",
+    "run_fig7_bandwidth",
+    "run_fig12_layerwise",
+    "run_fig13_end2end",
+    "run_fig14_breakdown",
+    "run_fig15_block_size",
+    "run_fig15_quantization",
+    "run_fig15_bandwidth",
+    "run_fig15_sparsity_sweep",
+    "run_fig16_codec_ablation",
+    "run_fig16_scheduling_ablation",
+    "run_fig17_distribution",
+    "run_fig18_convergence",
+]
+
+#: The pattern families compared throughout the accuracy evaluation.
+ACCURACY_FAMILIES = [
+    PatternFamily.US,
+    PatternFamily.TS,
+    PatternFamily.RS_V,
+    PatternFamily.RS_H,
+    PatternFamily.TBS,
+]
+
+
+# ---------------------------------------------------------------------------
+# Model state helpers
+# ---------------------------------------------------------------------------
+
+
+def snapshot_params(model) -> Dict[int, Dict[str, np.ndarray]]:
+    """Deep copy of every parameter, keyed by module identity."""
+    return {id(m): {k: v.copy() for k, v in m.params.items()} for m in model.modules()}
+
+
+def restore_params(model, snapshot: Dict[int, Dict[str, np.ndarray]]) -> None:
+    for mod in model.modules():
+        saved = snapshot.get(id(mod))
+        if saved:
+            for key, value in saved.items():
+                mod.params[key] = value.copy()
+        if hasattr(mod, "set_mask"):
+            mod.set_mask(None)
+
+
+def capture_layer_inputs(model, x: np.ndarray) -> Dict[int, np.ndarray]:
+    """Calibration activations per prunable layer (for Wanda/SparseGPT).
+
+    Runs one forward pass and reads each layer's cached GEMM input: the
+    raw input for Linear, the im2col patch matrix for Conv2d -- exactly
+    the reduction-dimension activations the criteria need.
+    """
+    model.eval()
+    model(x)
+    model.train()
+    activations: Dict[int, np.ndarray] = {}
+    for layer in prunable_layers(model):
+        if isinstance(layer, Linear):
+            acts = layer._x.reshape(-1, layer.in_features)
+        elif isinstance(layer, Conv2d):
+            acts = layer._cache[1].reshape(-1, layer._cache[1].shape[-1])
+        else:  # pragma: no cover - only Linear/Conv2d are maskable
+            continue
+        activations[id(layer)] = acts
+    return activations
+
+
+# ---------------------------------------------------------------------------
+# Accuracy experiments (Tables I / II, Fig. 18)
+# ---------------------------------------------------------------------------
+
+
+def _proxy(task: str, seed: int):
+    """(model, data) pair for one proxy task."""
+    if task == "cnn":
+        data = image_dataset(n_samples=320, channels=3, size=16, n_classes=4, seed=seed)
+        model = make_cnn(channels=3, width=12, n_classes=4, seed=100 + seed)
+    elif task == "encoder":
+        data = sequence_dataset(n_samples=384, seq_len=16, vocab=32, n_classes=4, seed=seed)
+        model = TransformerClassifier(vocab=32, dim=32, heads=4, depth=2, n_classes=4, seed=100 + seed)
+    elif task == "mlp":
+        data = cluster_dataset(n_samples=640, n_features=48, n_classes=8, seed=seed, noise=1.3)
+        model = make_mlp(48, 48, 8, depth=3, seed=100 + seed)
+    else:
+        raise ValueError(f"unknown proxy task {task!r}")
+    return model, data
+
+
+def run_table1(
+    tasks: Sequence[Tuple[str, float]] = (("cnn", 0.75), ("encoder", 0.5), ("mlp", 0.75)),
+    seeds: Sequence[int] = (0, 1, 2),
+    epochs: int = 10,
+    ts_cap: Optional[float] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Table I -- sparse-training accuracy per pattern family.
+
+    Proxy substitutions: TinyResNet on the image task stands in for
+    ResNet-50/18 (75% sparsity), the encoder classifier for BERT (50%).
+    ``ts_cap=None`` runs TS at matched sparsity (iso-sparsity protocol);
+    pass ``0.5`` for the paper's hardware-pinned 4:8 footnote variant.
+    Returns ``{task: {family_or_Dense: mean accuracy}}``.
+    """
+    results: Dict[str, Dict[str, float]] = {}
+    for task, sparsity in tasks:
+        per_family: Dict[str, List[float]] = {"Dense": []}
+        for family in ACCURACY_FAMILIES:
+            per_family[family.name] = []
+        for seed in seeds:
+            for family in [None] + ACCURACY_FAMILIES:
+                model, data = _proxy(task, seed)
+                res = train(
+                    model,
+                    data,
+                    family=family,
+                    sparsity=sparsity,
+                    epochs=epochs,
+                    seed=seed,
+                    ts_cap=ts_cap,
+                )
+                per_family[family.name if family else "Dense"].append(res.test_accuracy)
+        results[task] = {name: float(np.mean(vals)) for name, vals in per_family.items()}
+    return results
+
+
+def run_table2(
+    tasks: Sequence[Tuple[str, float]] = (("mlp", 0.5), ("encoder", 0.5)),
+    criteria: Sequence[str] = ("wanda", "sparsegpt"),
+    seeds: Sequence[int] = (0, 1, 2),
+    epochs: int = 10,
+) -> Dict[str, Dict[str, float]]:
+    """Table II -- one-shot pruning accuracy per (criterion, family).
+
+    Proxies stand in for OPT-6.7B / Llama2-7B: a model is trained dense,
+    then pruned one-shot at 50% with each criterion x pattern and
+    evaluated without retraining.  Returns
+    ``{f"{task}/{criterion}": {family_or_Dense: mean accuracy}}``.
+    """
+    results: Dict[str, Dict[str, List[float]]] = {}
+    for task, sparsity in tasks:
+        for seed in seeds:
+            model, data = _proxy(task, seed)
+            train(model, data, family=None, epochs=epochs, seed=seed)
+            dense_acc = evaluate(model, data[2], data[3])
+            snap = snapshot_params(model)
+            calib = data[0][:64]
+            acts = capture_layer_inputs(model, calib)
+
+            for criterion in criteria:
+                key = f"{task}/{criterion}"
+                bucket = results.setdefault(key, {})
+                bucket.setdefault("Dense", []).append(dense_acc)
+
+                def score_fn(layer, _criterion=criterion):
+                    w2d = layer.weight_matrix()
+                    layer_acts = acts[id(layer)]
+                    if _criterion == "wanda":
+                        return wanda_scores(w2d, layer_acts)
+                    if _criterion == "sparsegpt":
+                        return sparsegpt_scores(w2d, layer_acts)
+                    if _criterion == "magnitude":
+                        return np.abs(w2d)
+                    raise ValueError(f"unknown criterion {_criterion!r}")
+
+                for family in ACCURACY_FAMILIES:
+                    restore_params(model, snap)
+                    one_shot_prune(model, family, sparsity, score_fn=score_fn, ts_cap=None)
+                    bucket.setdefault(family.name, []).append(evaluate(model, data[2], data[3]))
+            restore_params(model, snap)
+    return {key: {n: float(np.mean(v)) for n, v in bucket.items()} for key, bucket in results.items()}
+
+
+def run_fig18_convergence(
+    task: str = "mlp", sparsity: float = 0.75, epochs: int = 12, seed: int = 0
+) -> Dict[str, List[float]]:
+    """Fig. 18 -- loss curves for dense / US / TBS training."""
+    curves: Dict[str, List[float]] = {}
+    for name, family in (("dense", None), ("US", PatternFamily.US), ("TBS", PatternFamily.TBS)):
+        model, data = _proxy(task, seed)
+        res = train(model, data, family=family, sparsity=sparsity, epochs=epochs, seed=seed)
+        curves[name] = res.loss_history
+        if name == "TBS":
+            curves["TBS_sparsity"] = res.sparsity_history
+    return curves
+
+
+# ---------------------------------------------------------------------------
+# Pattern analyses (Fig. 4, Fig. 17)
+# ---------------------------------------------------------------------------
+
+
+def run_fig4_maskspace(x: int = 64, y: int = 64, m: int = 8, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Fig. 4(b)/(c) -- mask similarity with US and log2 mask-space."""
+    weights = synthetic_weights(256, 256, seed=seed)
+    return {
+        "similarity": pattern_similarity_sweep(weights, sparsity=0.75, m=m),
+        "log2_maskspace": maskspace_table(x, y, m),
+    }
+
+
+def run_fig17_distribution(
+    sparsities: Sequence[float] = (0.5, 0.75, 0.875), seed: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 17 -- block-direction distribution of TBS-pruned layers."""
+    out: Dict[str, Dict[str, float]] = {}
+    all_results = []
+    for sparsity in sparsities:
+        results = []
+        for i, layer in enumerate(resnet50_layers()[:6]):
+            spec = layer.scaled(4)
+            weights = synthetic_weights(spec.rows, spec.cols, seed=seed + i)
+            results.append(tbs_sparsify(weights, m=8, sparsity=sparsity))
+        out[f"sparsity={sparsity:.0%}"] = direction_distribution(results)
+        all_results.extend(results)
+    out["Total"] = direction_distribution(all_results)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Hardware experiments
+# ---------------------------------------------------------------------------
+
+
+def run_table3() -> Dict[str, Dict[str, float]]:
+    """Table III -- area/power breakdown plus the A100 integration figure."""
+    cfg = tb_stc()
+    return {
+        "area_mm2": area_breakdown(cfg),
+        "power_mw": EnergyModel(cfg).peak_dynamic_power_mw(),
+        "a100_overhead_percent": {"value": a100_overhead_percent(cfg)},
+    }
+
+
+def run_fig6_datapath_power() -> Dict[str, float]:
+    """Fig. 6(d) -- peak datapath power, RM-STC vs TB-STC."""
+    ours = EnergyModel(tb_stc()).peak_dynamic_power_mw()["Total"]
+    theirs = EnergyModel(arch_by_name("RM-STC")).peak_dynamic_power_mw()["Total"]
+    return {"TB-STC_mw": ours, "RM-STC_mw": theirs, "ratio": theirs / ours}
+
+
+def run_fig7_bandwidth(
+    sparsities: Sequence[float] = (0.5, 0.75, 0.875), seed: int = 0, size: int = 256
+) -> Dict[str, Dict[str, float]]:
+    """Sec. V / Fig. 7 -- per-format bandwidth utilization on TBS matrices."""
+    out: Dict[str, Dict[str, float]] = {}
+    for sparsity in sparsities:
+        weights = synthetic_weights(size, size, seed=seed)
+        res = tbs_sparsify(weights, m=8, sparsity=sparsity)
+        reports = compare_formats(weights * res.mask, tbs=res)
+        out[f"sparsity={sparsity:.0%}"] = {
+            name: rep.bandwidth_utilization for name, rep in reports.items()
+        }
+    return out
+
+
+def run_fig12_layerwise(
+    layers: Optional[Sequence[LayerSpec]] = None,
+    sparsities: Sequence[float] = (0.5, 0.625, 0.75, 0.875),
+    arch_names: Sequence[str] = ("TC", "STC", "VEGETA", "HighLight", "RM-STC", "TB-STC"),
+    scale: int = 4,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 12 -- layer-wise speedup and normalized EDP vs sparsity.
+
+    Returns ``{layer: {f"sparsity={s}": {arch: speedup}, ...}}`` with the
+    EDP table under the ``"edp"`` suffix keys.
+    """
+    from ..sim.baselines import simulate_layer_sweep
+
+    if layers is None:
+        layers = [resnet50_layers()[8], bert_layers()[2]]
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for layer in layers:
+        layer_out: Dict[str, Dict[str, float]] = {}
+        for sparsity in sparsities:
+            results = simulate_layer_sweep(
+                layer, sparsity, arch_names=list(arch_names), scale=scale, seed=seed
+            )
+            base = results["TC"]
+            layer_out[f"speedup@{sparsity:.0%}"] = {
+                name: speedup(res, base) for name, res in results.items()
+            }
+            layer_out[f"edp@{sparsity:.0%}"] = {
+                name: normalized_edp(res, base) for name, res in results.items()
+            }
+        out[layer.name] = layer_out
+    return out
+
+
+def run_fig13_end2end(
+    models: Sequence[str] = ("resnet50", "bert", "opt-6.7b"),
+    arch_names: Sequence[str] = ("TC", "STC", "VEGETA", "HighLight", "RM-STC", "TB-STC"),
+    scale: int = 8,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Fig. 13 -- end-to-end iso-accuracy speedup and normalized EDP."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model in models:
+        per_arch: Dict[str, SimResult] = {}
+        for name in arch_names:
+            config = arch_by_name(name)
+            family = ARCH_FAMILY[name]
+            bundle = build_model_workload(model, family, m=8, seed=seed, scale=scale)
+            layer_results = [simulate_arch(config, wl) for wl in bundle.layers]
+            per_arch[name] = aggregate(layer_results, bundle.repeats)
+        base = per_arch["TC"]
+        out[model] = {
+            "speedup": {n: speedup(r, base) for n, r in per_arch.items()},
+            "edp": {n: normalized_edp(r, base) for n, r in per_arch.items()},
+        }
+    return out
+
+
+def run_fig14_breakdown(scale: int = 4, seed: int = 0) -> Dict[str, Dict[str, float]]:
+    """Fig. 14 -- execution-cycle breakdown of the BERT layer GEMMs."""
+    out: Dict[str, Dict[str, float]] = {}
+    config = tb_stc()
+    for layer in bert_layers():
+        workload = build_workload(layer, PatternFamily.TBS, 0.625, seed=seed, scale=scale)
+        result = simulate_arch(config, workload)
+        shares = cycle_breakdown(result)
+        shares["codec_fraction"] = codec_overhead_fraction(result)
+        out[layer.name] = shares
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity studies (Fig. 15)
+# ---------------------------------------------------------------------------
+
+
+def run_fig15_block_size(
+    block_sizes: Sequence[int] = (4, 8, 16, 32),
+    sparsity: float = 0.75,
+    seed: int = 0,
+    epochs: int = 8,
+    scale: int = 4,
+    with_accuracy: bool = True,
+) -> Dict[int, Dict[str, float]]:
+    """Fig. 15(a) -- block size vs speedup and accuracy."""
+    layer = resnet50_layers()[8]
+    base_workload = build_workload(layer, PatternFamily.US, 0.0, seed=seed, scale=scale)
+    dense = simulate_arch(arch_by_name("TC"), base_workload)
+    out: Dict[int, Dict[str, float]] = {}
+    for m in block_sizes:
+        workload = build_workload(layer, PatternFamily.TBS, sparsity, m=m, seed=seed, scale=scale)
+        result = simulate_arch(tb_stc(), workload)
+        entry = {"speedup": speedup(result, dense)}
+        if with_accuracy:
+            model, data = _proxy("mlp", seed)
+            res = train(model, data, family=PatternFamily.TBS, sparsity=sparsity, epochs=epochs, m=m, seed=seed)
+            entry["accuracy"] = res.test_accuracy
+        out[m] = entry
+    return out
+
+
+def run_fig15_quantization(
+    task: str = "mlp", sparsity: float = 0.75, epochs: int = 10, seed: int = 0, scale: int = 4
+) -> Dict[str, float]:
+    """Fig. 15(b) -- weight-8-bit quantization on TBS-pruned models.
+
+    Returns the extra speedup from INT8 weights and the accuracy delta.
+    """
+    # Accuracy side: train sparse, then fake-quantize the weights.
+    model, data = _proxy(task, seed)
+    res = train(model, data, family=PatternFamily.TBS, sparsity=sparsity, epochs=epochs, seed=seed)
+    sparse_acc = res.test_accuracy
+    quantize_model(model, bits=8)
+    quant_acc = evaluate(model, data[2], data[3])
+
+    # Performance side: halved weight traffic.
+    layer = resnet50_layers()[8]
+    workload = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
+    fp16 = simulate(tb_stc(), workload)
+    int8 = simulate(tb_stc(), workload, weight_bits=8)
+    return {
+        "sparse_accuracy": sparse_acc,
+        "quantized_accuracy": quant_acc,
+        "accuracy_drop": sparse_acc - quant_acc,
+        "extra_speedup": speedup(int8, fp16),
+    }
+
+
+def run_fig15_bandwidth(
+    bandwidths: Sequence[float] = (32, 64, 128, 256, 512),
+    sparsity: float = 0.75,
+    seed: int = 0,
+    scale: int = 4,
+) -> Dict[float, float]:
+    """Fig. 15(c) -- normalized speedup vs off-chip bandwidth."""
+    layer = bert_layers()[2]
+    workload = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
+    results = {
+        bw: simulate_arch(tb_stc(dram_bandwidth_gbs=float(bw)), workload) for bw in bandwidths
+    }
+    base_cycles = results[bandwidths[0]].cycles
+    return {bw: base_cycles / res.cycles for bw, res in results.items()}
+
+
+def run_fig15_sparsity_sweep(
+    sparsities: Sequence[float] = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95),
+    seed: int = 0,
+    scale: int = 4,
+) -> Dict[float, Dict[str, float]]:
+    """Fig. 15(d) -- TB-STC vs SGCN across sparsity degrees."""
+    layer = bert_layers()[2]
+    out: Dict[float, Dict[str, float]] = {}
+    for sparsity in sparsities:
+        tb_wl = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
+        us_wl = build_workload(layer, PatternFamily.US, sparsity, seed=seed, scale=scale)
+        tb = simulate_arch(tb_stc(), tb_wl)
+        sg = simulate_arch(arch_by_name("SGCN"), us_wl)
+        out[sparsity] = {
+            "TB-STC_cycles": float(tb.cycles),
+            "SGCN_cycles": float(sg.cycles),
+            "tb_over_sgcn": sg.cycles / tb.cycles,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Ablations (Fig. 16)
+# ---------------------------------------------------------------------------
+
+
+def run_fig16_codec_ablation(
+    sparsity: float = 0.75, seed: int = 0, scale: int = 4
+) -> Dict[str, float]:
+    """Fig. 16(a) -- the TBS model on architectures without the codec.
+
+    All variants share the TB-STC fabric; only the storage/codec stack
+    changes.  Returns cycles normalized to full TB-STC (higher = slower).
+    """
+    layer = resnet50_layers()[8]
+    workload = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
+    variants = {
+        "TB-STC (DDC+codec)": tb_stc(),
+        "SDC no codec": tb_stc(storage_format="sdc", has_codec=False),
+        "CSR no codec": tb_stc(storage_format="csr", has_codec=False),
+        "Dense stream": tb_stc(storage_format="dense", has_codec=False),
+    }
+    results = {name: simulate_arch(cfg, workload) for name, cfg in variants.items()}
+    base = results["TB-STC (DDC+codec)"].cycles
+    return {name: res.cycles / base for name, res in results.items()}
+
+
+def run_fig16_scheduling_ablation(
+    sparsity: float = 0.75, seed: int = 0, scale: int = 4
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 16(b) -- scheduling strategies on the TB-STC fabric.
+
+    Compares compute utilization (vs non-scheduled direct mapping) and
+    normalized EDP of the DVPE+FAN variant.
+    """
+    layer = resnet50_layers()[8]
+    workload = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
+    full = simulate_arch(tb_stc(), workload)
+    # The non-scheduled baseline keeps the PE datapath identical and only
+    # drops the inter-block scheduler (lockstep direct mapping) and the
+    # intra-block packing -- the two halves of the hierarchical strategy.
+    unscheduled = simulate_arch(
+        tb_stc(inter_block_scheduling=False, intra_block_mapping=False), workload
+    )
+    fan = simulate_arch(arch_by_name("DVPE+FAN"), workload)
+    return {
+        "utilization": {
+            "scheduled": full.compute_utilization,
+            "non_scheduled": unscheduled.compute_utilization,
+            "gain": full.compute_utilization / max(1e-9, unscheduled.compute_utilization),
+        },
+        "fan_edp": {"normalized": fan.edp / full.edp},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 -- the accuracy-EDP Pareto frontier
+# ---------------------------------------------------------------------------
+
+
+def run_fig1_pareto(
+    seeds: Sequence[int] = (0, 1),
+    sparsities: Sequence[float] = (0.5, 0.75),
+    epochs: int = 8,
+    scale: int = 4,
+) -> Dict[str, List[ParetoPoint]]:
+    """Fig. 1 -- accuracy (proxy encoder) vs EDP (simulator) per design.
+
+    Each architecture is evaluated at each sparsity with its own pattern
+    family; the dense TC anchors the right edge of the plot.
+    """
+    layer = bert_layers()[2]
+    arch_names = ["TC", "STC", "VEGETA", "HighLight", "RM-STC", "TB-STC"]
+    points: List[ParetoPoint] = []
+    acc_cache: Dict[Tuple[str, float], float] = {}
+
+    def proxy_accuracy(family: Optional[PatternFamily], sparsity: float) -> float:
+        key = (family.name if family else "Dense", sparsity)
+        if key not in acc_cache:
+            accs = []
+            for seed in seeds:
+                model, data = _proxy("encoder", seed)
+                res = train(model, data, family=family, sparsity=sparsity, epochs=epochs, seed=seed)
+                accs.append(res.test_accuracy)
+            acc_cache[key] = float(np.mean(accs))
+        return acc_cache[key]
+
+    for name in arch_names:
+        family = ARCH_FAMILY[name]
+        config = arch_by_name(name)
+        if name == "TC":
+            workload = build_workload(layer, PatternFamily.US, 0.0, seed=seeds[0], scale=scale)
+            result = simulate_arch(config, workload)
+            points.append(ParetoPoint(result.edp, proxy_accuracy(None, 0.0), label="TC"))
+            continue
+        for sparsity in sparsities:
+            workload = build_workload(layer, family, sparsity, seed=seeds[0], scale=scale)
+            result = simulate_arch(config, workload)
+            acc_family = family if name != "RM-STC" else PatternFamily.US
+            points.append(
+                ParetoPoint(result.edp, proxy_accuracy(acc_family, sparsity), label=f"{name}@{sparsity:.0%}")
+            )
+    return {"points": points, "frontier": pareto_frontier(points)}

@@ -1,0 +1,54 @@
+"""Pareto-frontier utilities (Fig. 1: accuracy vs EDP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["ParetoPoint", "pareto_frontier", "dominates", "hypervolume_2d"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One design point: lower ``cost`` (EDP) and higher ``quality``
+    (accuracy) are better."""
+
+    cost: float
+    quality: float
+    label: str = ""
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True when ``a`` is at least as good on both axes and better on one."""
+    return (a.cost <= b.cost and a.quality >= b.quality) and (
+        a.cost < b.cost or a.quality > b.quality
+    )
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset, sorted by ascending cost."""
+    pts = list(points)
+    frontier = [p for p in pts if not any(dominates(q, p) for q in pts if q is not p)]
+    return sorted(frontier, key=lambda p: (p.cost, -p.quality))
+
+
+def hypervolume_2d(
+    frontier: Sequence[ParetoPoint], ref_cost: float, ref_quality: float = 0.0
+) -> float:
+    """Area dominated by the frontier w.r.t. a reference point.
+
+    Larger is better; used to compare frontiers quantitatively ("TB-STC
+    offers an enhanced accuracy-EDP Pareto frontier").
+    """
+    pts = [p for p in pareto_frontier(frontier) if p.cost <= ref_cost and p.quality >= ref_quality]
+    if not pts:
+        return 0.0
+    # Staircase integration: sweep by ascending cost, accumulating the
+    # rectangle each point adds above the best quality seen so far.
+    area = 0.0
+    best_quality = ref_quality
+    for p in sorted(pts, key=lambda p: p.cost):
+        if p.quality > best_quality:
+            area += (ref_cost - p.cost) * (p.quality - best_quality)
+            best_quality = p.quality
+    return area

@@ -1,0 +1,78 @@
+"""Roofline analysis: where each workload sits against each machine.
+
+The roofline model explains the paper's bandwidth observations
+(Fig. 15(c)): a kernel with arithmetic intensity ``I`` (MACs per DRAM
+byte) on a machine with peak compute ``P`` and bandwidth ``B`` attains
+at most ``min(P, I*B)``.  Sparsity *lowers* a layer's intensity (less
+compute per byte of activations), which is why TB-STC is
+bandwidth-bound at 64 GB/s for high sparsity and stops scaling above
+256 GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.config import ArchConfig
+from ..sim.metrics import SimResult
+from ..workloads.generator import GEMMWorkload
+
+__all__ = ["RooflinePoint", "roofline_point", "ridge_intensity", "attainable_macs_per_cycle"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload's position on one machine's roofline."""
+
+    workload: str
+    arch: str
+    intensity: float  # useful MACs per DRAM byte
+    attainable_macs_per_cycle: float
+    peak_macs_per_cycle: float
+    achieved_macs_per_cycle: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.attainable_macs_per_cycle < self.peak_macs_per_cycle
+
+    @property
+    def roofline_efficiency(self) -> float:
+        """Achieved throughput relative to the roofline bound."""
+        if self.attainable_macs_per_cycle <= 0:
+            return 1.0
+        return min(1.0, self.achieved_macs_per_cycle / self.attainable_macs_per_cycle)
+
+
+def ridge_intensity(config: ArchConfig) -> float:
+    """Intensity (MACs/byte) where the machine turns compute-bound."""
+    return config.peak_macs_per_cycle / config.dram_bytes_per_cycle
+
+
+def attainable_macs_per_cycle(intensity: float, config: ArchConfig) -> float:
+    """The roofline bound ``min(peak, I * bandwidth)``."""
+    if intensity < 0:
+        raise ValueError("intensity must be non-negative")
+    return min(config.peak_macs_per_cycle, intensity * config.dram_bytes_per_cycle)
+
+
+def roofline_point(
+    workload: GEMMWorkload, config: ArchConfig, result: SimResult
+) -> RooflinePoint:
+    """Place one simulated execution on the machine's roofline.
+
+    Intensity uses the *useful* sparse MACs over the bytes the run
+    actually moved (format overheads lower the intensity, exactly as
+    they should).
+    """
+    useful_macs = workload.macs if config.storage_format != "dense" else workload.dense_macs
+    dram_bytes = max(1.0, result.dram_bytes)
+    intensity = useful_macs / dram_bytes
+    achieved = useful_macs / max(1, result.cycles)
+    return RooflinePoint(
+        workload=workload.name,
+        arch=config.name,
+        intensity=intensity,
+        attainable_macs_per_cycle=attainable_macs_per_cycle(intensity, config),
+        peak_macs_per_cycle=config.peak_macs_per_cycle,
+        achieved_macs_per_cycle=achieved,
+    )

@@ -1,0 +1,39 @@
+"""ASCII rendering of result tables (for benches and examples)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_dict_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_dict_table(data: Dict[str, Dict[str, float]], key_header: str = "", title: str = "") -> str:
+    """Rows = outer keys, columns = union of inner keys."""
+    columns: List[str] = []
+    for inner in data.values():
+        for key in inner:
+            if key not in columns:
+                columns.append(key)
+    headers = [key_header] + columns
+    rows = [[name] + [inner.get(col, "") for col in columns] for name, inner in data.items()]
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Three commands:
+
+* ``report`` -- run one (or all) of the paper's experiments and print
+  its table(s); experiment names follow the paper (``table1`` ...
+  ``fig18``).
+* ``prune`` -- prune a ``.npy`` weight matrix with any pattern family
+  and write the boolean mask next to it.
+* ``simulate`` -- simulate one GEMM layer on a chosen architecture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+#: experiment name -> (driver factory, printer); resolved lazily so the
+#: CLI imports fast.
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TB-STC (HPCA 2025) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="run a paper experiment and print its table")
+    report.add_argument("experiment", choices=_EXPERIMENTS + ("all",))
+    report.add_argument("--seeds", type=int, default=1, help="number of seeds for accuracy runs")
+    report.add_argument("--epochs", type=int, default=8, help="training epochs for accuracy runs")
+    report.add_argument("--scale", type=int, default=4, help="layer down-scaling for simulator runs")
+
+    prune = sub.add_parser("prune", help="prune a .npy weight matrix")
+    prune.add_argument("weights", help="path to a 2-D .npy array")
+    prune.add_argument("--pattern", default="TBS", choices=["US", "TS", "RS_V", "RS_H", "TBS"])
+    prune.add_argument("--sparsity", type=float, default=0.5)
+    prune.add_argument("--m", type=int, default=8)
+    prune.add_argument("--out", default=None, help="output mask path (default: <weights>.mask.npy)")
+
+    sim = sub.add_parser("simulate", help="simulate one sparse GEMM")
+    sim.add_argument("--rows", type=int, required=True)
+    sim.add_argument("--cols", type=int, required=True)
+    sim.add_argument("--b-cols", type=int, required=True)
+    sim.add_argument("--sparsity", type=float, default=0.75)
+    sim.add_argument("--arch", default="TB-STC")
+    sim.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_report(args) -> int:
+    from .analysis import (
+        render_dict_table,
+        render_table,
+        run_fig1_pareto,
+        run_fig4_maskspace,
+        run_fig6_datapath_power,
+        run_fig7_bandwidth,
+        run_fig12_layerwise,
+        run_fig13_end2end,
+        run_fig14_breakdown,
+        run_fig15_bandwidth,
+        run_fig15_block_size,
+        run_fig15_quantization,
+        run_fig15_sparsity_sweep,
+        run_fig16_codec_ablation,
+        run_fig16_scheduling_ablation,
+        run_fig17_distribution,
+        run_fig18_convergence,
+        run_table1,
+        run_table2,
+        run_table3,
+    )
+
+    seeds = tuple(range(args.seeds))
+
+    def show(experiment: str) -> None:
+        print(f"\n--- {experiment} ---")
+        if experiment == "table1":
+            print(render_dict_table(run_table1(seeds=seeds, epochs=args.epochs), key_header="proxy"))
+        elif experiment == "table2":
+            print(render_dict_table(run_table2(seeds=seeds, epochs=args.epochs), key_header="proxy/criterion"))
+        elif experiment == "table3":
+            res = run_table3()
+            print(render_dict_table(
+                {"area_mm2": res["area_mm2"], "power_mw": res["power_mw"]}, key_header="metric"
+            ))
+        elif experiment == "fig1":
+            res = run_fig1_pareto(seeds=seeds, epochs=args.epochs, scale=args.scale)
+            print(render_table(
+                ["design", "EDP", "accuracy"],
+                [[p.label, f"{p.cost:.3e}", f"{p.quality:.3f}"] for p in res["points"]],
+            ))
+            print("frontier:", [p.label for p in res["frontier"]])
+        elif experiment == "fig4":
+            res = run_fig4_maskspace()
+            print(render_dict_table(
+                {"similarity_vs_US": res["similarity"], "log2_maskspace": res["log2_maskspace"]},
+                key_header="metric",
+            ))
+        elif experiment == "fig6":
+            print(run_fig6_datapath_power())
+        elif experiment == "fig7":
+            print(render_dict_table(run_fig7_bandwidth(), key_header="workload"))
+        elif experiment == "fig12":
+            for layer, table in run_fig12_layerwise(scale=args.scale).items():
+                print(render_dict_table(table, key_header=layer))
+        elif experiment == "fig13":
+            for model, table in run_fig13_end2end(scale=max(args.scale, 8)).items():
+                print(render_dict_table(table, key_header=model))
+        elif experiment == "fig14":
+            print(render_dict_table(run_fig14_breakdown(scale=args.scale), key_header="layer"))
+        elif experiment == "fig15":
+            print(render_dict_table(
+                {f"M={m}": row for m, row in run_fig15_block_size(scale=args.scale, epochs=args.epochs).items()},
+                key_header="block",
+            ))
+            print("quantization:", run_fig15_quantization(epochs=args.epochs, scale=args.scale))
+            print("bandwidth:", run_fig15_bandwidth(scale=args.scale))
+            print(render_dict_table(
+                {f"{s:.0%}": row for s, row in run_fig15_sparsity_sweep(scale=args.scale).items()},
+                key_header="sparsity",
+            ))
+        elif experiment == "fig16":
+            print("codec:", run_fig16_codec_ablation(scale=args.scale))
+            print(render_dict_table(run_fig16_scheduling_ablation(scale=args.scale), key_header="metric"))
+        elif experiment == "fig17":
+            print(render_dict_table(run_fig17_distribution(), key_header="layers"))
+        elif experiment == "fig18":
+            for name, series in run_fig18_convergence(epochs=args.epochs).items():
+                print(name, [round(v, 3) for v in series])
+        else:  # pragma: no cover - choices restrict this
+            raise ValueError(experiment)
+
+    if args.experiment == "all":
+        for experiment in _EXPERIMENTS:
+            show(experiment)
+    else:
+        show(args.experiment)
+    return 0
+
+
+def _run_prune(args) -> int:
+    from .core.masks import make_mask
+    from .core.patterns import PatternFamily, PatternSpec
+    from .core.sparsify import tbs_sparsify
+
+    weights = np.load(args.weights)
+    if weights.ndim != 2:
+        print(f"error: expected a 2-D array, got shape {weights.shape}", file=sys.stderr)
+        return 2
+    family = PatternFamily[args.pattern]
+    if family is PatternFamily.TBS:
+        result = tbs_sparsify(weights, m=args.m, sparsity=args.sparsity)
+        mask = result.mask
+        extra = f", directions {result.direction_histogram()}"
+    else:
+        mask = make_mask(weights, PatternSpec(family, m=args.m, sparsity=args.sparsity))
+        extra = ""
+    out = args.out or args.weights.replace(".npy", "") + ".mask.npy"
+    np.save(out, mask)
+    print(f"{args.pattern} mask: sparsity {1 - mask.mean():.1%}{extra} -> {out}")
+    return 0
+
+
+def _run_simulate(args) -> int:
+    from .core.patterns import PatternFamily
+    from .sim.baselines import ARCH_FAMILY, arch_by_name, simulate_arch
+    from .workloads.generator import build_workload
+    from .workloads.layers import LayerSpec
+
+    try:
+        config = arch_by_name(args.arch)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    family = ARCH_FAMILY.get(args.arch, PatternFamily.TBS)
+    layer = LayerSpec("cli", args.rows, args.cols, args.b_cols)
+    workload = build_workload(layer, family, args.sparsity, seed=args.seed)
+    result = simulate_arch(config, workload)
+    print(f"{args.arch} on {args.rows}x{args.cols} @ K={args.b_cols}, "
+          f"{family.name} {workload.sparsity:.1%} sparse:")
+    print(f"  cycles        {result.cycles}")
+    print(f"  energy        {result.energy.total_j * 1e6:.3f} uJ")
+    print(f"  EDP           {result.edp:.4e} J*s")
+    print(f"  compute util  {result.compute_utilization:.1%}")
+    print(f"  bandwidth util {result.bandwidth_utilization:.1%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "prune":
+        return _run_prune(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

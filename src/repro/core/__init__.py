@@ -1,0 +1,125 @@
+"""TB-STC core algorithms: the TBS sparsity pattern and its analyses.
+
+This subpackage is the paper's algorithmic contribution (Sec. III):
+
+* :mod:`~repro.core.patterns` -- pattern taxonomy and N:M descriptors.
+* :mod:`~repro.core.masks` -- mask generators for US / TS / RS-V / RS-H.
+* :mod:`~repro.core.sparsify` -- Algorithm 1 (TBS sparsification).
+* :mod:`~repro.core.maskspace` -- mask-space formulas, Eqs. (1)-(4).
+* :mod:`~repro.core.similarity` -- mask similarity, block distributions.
+* :mod:`~repro.core.criteria` -- magnitude / Wanda / SparseGPT criteria.
+* :mod:`~repro.core.blocks` -- block partitioning shared with hw/formats.
+"""
+
+from .blocks import (
+    BlockIndex,
+    block_densities,
+    block_grid_shape,
+    block_nnz_counts,
+    iter_blocks,
+    merge_from_blocks,
+    pad_to_blocks,
+    split_into_blocks,
+)
+from .criteria import (
+    magnitude_scores,
+    sparsegpt_prune,
+    sparsegpt_scores,
+    wanda_scores,
+)
+from .masks import (
+    global_threshold,
+    highlight_mask,
+    make_mask,
+    tile_mask,
+    topn_along_last,
+    unstructured_mask,
+    vegeta_mask,
+)
+from .maskspace import (
+    log2_maskspace_rs_h,
+    log2_maskspace_rs_v,
+    log2_maskspace_tbs,
+    log2_maskspace_ts,
+    log2_maskspace_us,
+    maskspace_table,
+)
+from .patterns import (
+    DEFAULT_CANDIDATES,
+    DEFAULT_M,
+    BlockPattern,
+    Direction,
+    NMConfig,
+    PatternFamily,
+    PatternSpec,
+    default_candidates,
+    nearest_candidate,
+    sparsity_of,
+)
+from .similarity import (
+    direction_distribution,
+    kept_overlap,
+    mask_agreement,
+    pattern_similarity_sweep,
+)
+from .sparsify import TBSResult, block_pattern_grid, tbs_sparsify
+from .transposable import (
+    is_transposable,
+    transposable_block_mask,
+    transposable_mask,
+    transposable_sparsify,
+)
+from .validate import ValidationReport, Violation, validate_mask, validate_tbs_result
+
+__all__ = [
+    "BlockIndex",
+    "BlockPattern",
+    "DEFAULT_CANDIDATES",
+    "DEFAULT_M",
+    "Direction",
+    "NMConfig",
+    "PatternFamily",
+    "PatternSpec",
+    "TBSResult",
+    "ValidationReport",
+    "Violation",
+    "block_densities",
+    "block_grid_shape",
+    "block_nnz_counts",
+    "block_pattern_grid",
+    "default_candidates",
+    "direction_distribution",
+    "global_threshold",
+    "highlight_mask",
+    "is_transposable",
+    "iter_blocks",
+    "kept_overlap",
+    "log2_maskspace_rs_h",
+    "log2_maskspace_rs_v",
+    "log2_maskspace_tbs",
+    "log2_maskspace_ts",
+    "log2_maskspace_us",
+    "magnitude_scores",
+    "make_mask",
+    "mask_agreement",
+    "maskspace_table",
+    "merge_from_blocks",
+    "nearest_candidate",
+    "pad_to_blocks",
+    "pattern_similarity_sweep",
+    "sparsegpt_prune",
+    "sparsegpt_scores",
+    "sparsity_of",
+    "split_into_blocks",
+    "tbs_sparsify",
+    "tile_mask",
+    "topn_along_last",
+    "transposable_block_mask",
+    "transposable_mask",
+    "transposable_sparsify",
+    "unstructured_mask",
+    "validate_mask",
+    "validate_tbs_result",
+    "vegeta_mask",
+    "wanda_scores",
+]

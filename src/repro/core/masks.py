@@ -1,0 +1,219 @@
+"""Mask generators for every sparsity-pattern family the paper compares.
+
+Every generator takes a *score* matrix (importance per weight -- magnitude
+by default, but any criterion from :mod:`repro.core.criteria` works, since
+the paper notes pattern and criterion are orthogonal) and returns a boolean
+mask of the same shape where ``True`` marks a kept (non-zero) weight.
+
+Conventions (see :mod:`repro.core.patterns`): the matrix rows are the
+independent dimension and the columns the reduction dimension, so
+"row-wise" N:M groups run along axis 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .patterns import (
+    DEFAULT_M,
+    NMConfig,
+    PatternFamily,
+    PatternSpec,
+    nearest_candidate,
+)
+
+__all__ = [
+    "unstructured_mask",
+    "global_threshold",
+    "tile_mask",
+    "topn_along_last",
+    "vegeta_mask",
+    "highlight_mask",
+    "make_mask",
+]
+
+
+def _as_scores(scores: np.ndarray) -> np.ndarray:
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected a 2-D score matrix, got shape {scores.shape}")
+    return np.abs(scores)
+
+
+def unstructured_mask(scores: np.ndarray, sparsity: float) -> np.ndarray:
+    """Global top-k mask: keep the ``(1 - sparsity)`` highest-score entries."""
+    scores = _as_scores(scores)
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError(f"sparsity must be in [0, 1], got {sparsity}")
+    total = scores.size
+    keep = total - int(round(sparsity * total))
+    mask = np.zeros(total, dtype=bool)
+    if keep > 0:
+        flat = scores.ravel()
+        kept_idx = np.argpartition(flat, total - keep)[total - keep :]
+        mask[kept_idx] = True
+    return mask.reshape(scores.shape)
+
+
+def global_threshold(scores: np.ndarray, sparsity: float) -> float:
+    """Score threshold at the target sparsity over the whole matrix.
+
+    This is the first step of the sparse-training forward pass
+    (Sec. III-B1): "we first obtain the threshold on the entire weight
+    according to the target sparsity".
+    """
+    scores = _as_scores(scores)
+    if scores.size == 0 or sparsity <= 0.0:
+        return 0.0
+    if sparsity >= 1.0:
+        return float(scores.max()) + 1.0
+    return float(np.quantile(scores.ravel(), sparsity))
+
+
+def topn_along_last(scores: np.ndarray, n: int) -> np.ndarray:
+    """Boolean mask keeping the top-``n`` entries along the last axis.
+
+    Works on any leading shape; this is the N:M primitive used by every
+    structured generator.  ``n`` may be an integer array broadcastable over
+    the leading axes (per-group N), enabling the variable-N patterns.
+    """
+    scores = np.abs(np.asarray(scores, dtype=np.float64))
+    m = scores.shape[-1]
+    n_arr = np.asarray(n)
+    if np.any(n_arr < 0) or np.any(n_arr > m):
+        raise ValueError(f"N must be within [0, {m}]")
+    # Rank entries within each group: rank 0 is the largest.
+    order = np.argsort(-scores, axis=-1, kind="stable")
+    ranks = np.empty_like(order)
+    np.put_along_axis(ranks, order, np.broadcast_to(np.arange(m), scores.shape).copy(), axis=-1)
+    return ranks < np.expand_dims(n_arr, axis=-1) if n_arr.ndim else ranks < n_arr
+
+
+def tile_mask(scores: np.ndarray, nm: NMConfig) -> np.ndarray:
+    """Tile-wise N:M mask (TS): fixed N for every M-wide reduction-dim tile.
+
+    This is the NVIDIA Sparse Tensor Core pattern (2:4 in hardware; the
+    paper's TS baseline uses 4:8).
+    """
+    scores = _as_scores(scores)
+    rows, cols = scores.shape
+    pad_c = (-cols) % nm.m
+    padded = np.pad(scores, ((0, 0), (0, pad_c)), constant_values=-np.inf)
+    groups = padded.reshape(rows, -1, nm.m)
+    mask = topn_along_last(groups, nm.n)
+    mask &= np.isfinite(groups)  # padding is never "kept"
+    return mask.reshape(rows, -1)[:, :cols]
+
+
+def _row_densities_from_unstructured(scores: np.ndarray, sparsity: float) -> np.ndarray:
+    """Per-row densities implied by the global unstructured mask.
+
+    Both row-wise baselines calibrate their per-row N against the density
+    the unstructured pattern would give that row, which is how they reach
+    the matrix-level target sparsity while redistributing across rows.
+    """
+    us = unstructured_mask(scores, sparsity)
+    return us.mean(axis=1)
+
+
+def vegeta_mask(
+    scores: np.ndarray,
+    m: int = DEFAULT_M,
+    sparsity: float = 0.5,
+    candidates: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Row-wise N:M mask with per-row N (the VEGETA / RS-V baseline).
+
+    Each row independently selects its N from the candidate set to best
+    match its unstructured density, then applies uniform N:M along its
+    reduction-dim groups.  Unlike the block-wise patterns, VEGETA's
+    hardware supports *any* N in [0, M] per row, so the default
+    candidate set is the full integer range.
+    """
+    scores = _as_scores(scores)
+    if candidates is None:
+        candidates = tuple(range(m + 1))
+    spec = PatternSpec(PatternFamily.RS_V, m=m, sparsity=sparsity, candidates=tuple(candidates))
+    rows, cols = scores.shape
+    densities = _row_densities_from_unstructured(scores, sparsity)
+    row_n = np.array([nearest_candidate(d, m, spec.candidates) for d in densities])
+
+    pad_c = (-cols) % m
+    padded = np.pad(scores, ((0, 0), (0, pad_c)), constant_values=-np.inf)
+    groups = padded.reshape(rows, -1, m)
+    mask = topn_along_last(groups, row_n[:, None])
+    mask &= np.isfinite(groups)
+    return mask.reshape(rows, -1)[:, :cols]
+
+
+def highlight_mask(
+    scores: np.ndarray,
+    m: int = DEFAULT_M,
+    sparsity: float = 0.5,
+    candidates: Optional[Sequence[int]] = None,
+    super_group: int = 4,
+) -> np.ndarray:
+    """Hierarchical row-wise mask (the HighLight / RS-H baseline).
+
+    HighLight composes two sparsity levels: a coarse level that keeps
+    ``T`` of every ``super_group`` M-wide tiles (tile-level N:M over tile
+    occupancy) and a fine level that applies N:M inside each surviving
+    tile.  Per row we search the small (T, N) grid for the product ratio
+    ``(T / super_group) * (N / M)`` closest to the row's unstructured
+    density, which yields more achievable sparsity degrees than RS-V's
+    single-level choice.
+    """
+    scores = _as_scores(scores)
+    spec = PatternSpec(PatternFamily.RS_H, m=m, sparsity=sparsity, candidates=tuple(candidates) if candidates else None)
+    rows, cols = scores.shape
+    densities = _row_densities_from_unstructured(scores, sparsity)
+
+    fine_levels = [n for n in spec.candidates if n > 0]
+    coarse_levels = list(range(1, super_group + 1))
+    combos: list[Tuple[int, int, float]] = [
+        (t, n, (t / super_group) * (n / m)) for t in coarse_levels for n in fine_levels
+    ]
+    combos.append((0, 0, 0.0))
+
+    pad_c = (-cols) % (m * super_group)
+    padded = np.pad(scores, ((0, 0), (0, pad_c)), constant_values=0.0)
+    n_tiles = padded.shape[1] // m
+    tiles = padded.reshape(rows, n_tiles, m)
+
+    mask = np.zeros_like(padded, dtype=bool)
+    tile_strength = tiles.sum(axis=2)  # coarse-level tile importance
+    for r in range(rows):
+        t_keep, n_keep, _ = min(combos, key=lambda c: (abs(c[2] - densities[r]), c[2]))
+        if n_keep == 0:
+            continue
+        row_mask = np.zeros((n_tiles, m), dtype=bool)
+        strengths = tile_strength[r].reshape(-1, super_group)
+        keep_tiles = topn_along_last(strengths, t_keep).reshape(-1)
+        kept_idx = np.nonzero(keep_tiles)[0]
+        if kept_idx.size:
+            row_mask[kept_idx] = topn_along_last(tiles[r, kept_idx], n_keep)
+        mask[r] = row_mask.reshape(-1)
+    return mask[:, :cols]
+
+
+def make_mask(scores: np.ndarray, spec: PatternSpec) -> np.ndarray:
+    """Dispatch to the generator for ``spec.family``.
+
+    TBS is implemented by Algorithm 1 in :mod:`repro.core.sparsify`; it is
+    imported lazily here to keep the module dependency graph acyclic.
+    """
+    if spec.family is PatternFamily.US:
+        return unstructured_mask(scores, spec.sparsity)
+    if spec.family is PatternFamily.TS:
+        return tile_mask(scores, NMConfig(spec.fixed_n, spec.m))
+    if spec.family is PatternFamily.RS_V:
+        return vegeta_mask(scores, spec.m, spec.sparsity, spec.candidates)
+    if spec.family is PatternFamily.RS_H:
+        return highlight_mask(scores, spec.m, spec.sparsity, spec.candidates)
+    if spec.family is PatternFamily.TBS:
+        from .sparsify import tbs_sparsify
+
+        return tbs_sparsify(scores, m=spec.m, sparsity=spec.sparsity, candidates=spec.candidates).mask
+    raise ValueError(f"unknown pattern family: {spec.family}")

@@ -1,0 +1,211 @@
+"""Sparsity-pattern taxonomy for the TB-STC reproduction.
+
+The paper (Sec. II-A, Fig. 4(a)) compares five sparsity-pattern families:
+
+* ``US``   -- unstructured sparsity (element-wise top-k).
+* ``TS``   -- tile-wise N:M (NVIDIA Sparse Tensor Core style, fixed N).
+* ``RS_V`` -- row-wise N:M with per-row N (VEGETA).
+* ``RS_H`` -- row-wise hierarchical N:M (HighLight).
+* ``TBS``  -- transposable block-wise N:M (this paper's contribution).
+
+Dimension naming follows the paper's Fig. 3(a): for ``D = A @ B`` the
+*independent* dimension of ``A`` is its row axis (rows survive into ``D``)
+and the *reduction* dimension is its column axis (contracted with ``B``).
+"Row-wise N:M" therefore means N:M groups laid out *along the reduction
+dimension* (within a row), and "column-wise N:M" means groups along the
+independent dimension (within a column).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+class PatternFamily(enum.Enum):
+    """The sparsity-pattern families compared throughout the paper."""
+
+    US = "unstructured"
+    TS = "tile-wise"
+    RS_V = "row-wise-vegeta"
+    RS_H = "row-wise-highlight"
+    TBS = "transposable-block-wise"
+
+    @property
+    def is_structured(self) -> bool:
+        return self is not PatternFamily.US
+
+
+class Direction(enum.Enum):
+    """Per-block sparsity dimension of a TBS block (Fig. 8(a) ``Sparsity dim.``).
+
+    ``ROW`` means the N:M groups run along the reduction dimension (each row
+    of the block keeps at most N of its M elements); ``COL`` means the groups
+    run along the independent dimension (each column keeps at most N).
+    """
+
+    ROW = 0
+    COL = 1
+
+    @property
+    def transposed(self) -> "Direction":
+        return Direction.COL if self is Direction.ROW else Direction.ROW
+
+
+#: The paper's experimental configuration (Sec. VII-A3): M = 8 and the
+#: candidate non-zero counts are the divisor powers of two of M plus zero.
+DEFAULT_M = 8
+DEFAULT_CANDIDATES = (0, 1, 2, 4, 8)
+
+
+def default_candidates(m: int) -> Tuple[int, ...]:
+    """Candidate N values for block size ``m``: 0 and the powers of two <= m.
+
+    Matches the paper's ``M = 8, N in {0, 1, 2, 4, 8}`` choice and
+    generalises it to other block sizes for the Fig. 15(a) sweep.
+    """
+    if m < 1:
+        raise ValueError(f"block size must be positive, got {m}")
+    cands = [0]
+    power = 1
+    while power <= m:
+        cands.append(power)
+        power *= 2
+    if cands[-1] != m and m not in cands:
+        cands.append(m)
+    return tuple(cands)
+
+
+@dataclass(frozen=True)
+class NMConfig:
+    """An N:M ratio (keep at most ``n`` of every ``m`` elements)."""
+
+    n: int
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError(f"M must be positive, got {self.m}")
+        if not 0 <= self.n <= self.m:
+            raise ValueError(f"N must be in [0, {self.m}], got {self.n}")
+
+    @property
+    def density(self) -> float:
+        return self.n / self.m
+
+    @property
+    def sparsity(self) -> float:
+        return 1.0 - self.density
+
+    def __str__(self) -> str:  # e.g. "2:4"
+        return f"{self.n}:{self.m}"
+
+
+@dataclass(frozen=True)
+class BlockPattern:
+    """Resolved sparsity metadata of one M x M TBS block.
+
+    This is what the DDC format's per-block Info table encodes (Fig. 8(a)):
+    the sparsity dimension, the block's N, and (added by the format layer)
+    the element offset of the block payload.
+    """
+
+    n: int
+    m: int
+    direction: Direction
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n <= self.m:
+            raise ValueError(f"N must be in [0, {self.m}], got {self.n}")
+
+    @property
+    def nnz(self) -> int:
+        """Total non-zeros in the block -- always a multiple of M.
+
+        This is the "balance property" that the intra-block sparsity-aware
+        mapping exploits (Sec. VI-B2): N non-zeros in each of the M
+        rows/columns gives exactly ``N * M`` elements.
+        """
+        return self.n * self.m
+
+    @property
+    def density(self) -> float:
+        return self.n / self.m
+
+    @property
+    def is_trivial(self) -> bool:
+        """Empty or fully dense blocks have no meaningful direction."""
+        return self.n == 0 or self.n == self.m
+
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """A fully-specified sparsity-pattern request.
+
+    Bundles the family with its parameters so that the mask generators,
+    the storage formats and the simulator all speak the same language.
+    """
+
+    family: PatternFamily
+    m: int = DEFAULT_M
+    sparsity: float = 0.5
+    candidates: Tuple[int, ...] = field(default=None)  # type: ignore[assignment]
+    fixed_n: int = None  # type: ignore[assignment]  # TS only
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sparsity <= 1.0:
+            raise ValueError(f"sparsity must be in [0, 1], got {self.sparsity}")
+        if self.candidates is None:
+            object.__setattr__(self, "candidates", default_candidates(self.m))
+        bad = [n for n in self.candidates if not 0 <= n <= self.m]
+        if bad:
+            raise ValueError(f"candidates {bad} out of range for M={self.m}")
+        if self.family is PatternFamily.TS and self.fixed_n is None:
+            # TS uses one N for the whole matrix; derive it from the target
+            # sparsity (the paper's TS baseline uses 4:8, i.e. 50%).
+            n = round((1.0 - self.sparsity) * self.m)
+            object.__setattr__(self, "fixed_n", max(0, min(self.m, n)))
+
+    @property
+    def density(self) -> float:
+        return 1.0 - self.sparsity
+
+
+def nearest_candidate(density: float, m: int, candidates: Sequence[int]) -> int:
+    """Pick the candidate N whose density N/M is closest to ``density``.
+
+    Implements Algorithm 1 step 2 (``N_p = argmin |N_i / M - d_p|``; the
+    paper's listing writes the sparsity degree ``s_p`` where the density is
+    clearly intended -- N/M is a density, and matching it against a sparsity
+    would invert the selection).  Ties break toward the smaller N so that
+    the overall mask never exceeds the target density.
+    """
+    if not candidates:
+        raise ValueError("candidate list must not be empty")
+    best = min(candidates, key=lambda n: (abs(n / m - density), n))
+    return best
+
+
+def sparsity_of(mask) -> float:
+    """Fraction of zero entries in a boolean/0-1 mask array."""
+    total = mask.size
+    if total == 0:
+        return 0.0
+    kept = int(mask.sum())
+    return 1.0 - kept / total
+
+
+def is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def log2_choose(n: int, k: int) -> float:
+    """log2 of the binomial coefficient C(n, k) via lgamma (overflow-safe)."""
+    if k < 0 or k > n:
+        return float("-inf")
+    if k == 0 or k == n:
+        return 0.0
+    ln = math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    return ln / math.log(2.0)

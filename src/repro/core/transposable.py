@@ -1,0 +1,143 @@
+"""Strictly-transposable N:M masks (the NM-T baseline, ref. [25]).
+
+Hubara et al. propose masks that satisfy N:M simultaneously in *both*
+dimensions of every ``M x M`` block, so the same mask works untouched
+for the forward and backward GEMMs.  TBS subsumes this: a strictly
+transposable block is valid in either direction, so its mask-space is a
+subset of TBS's (which is why TBS reaches higher accuracy -- Sec. III-A
+footnote 2 discusses NM-T's mask-diversity measure).
+
+This module implements:
+
+* :func:`is_transposable` -- check the 2-D N:M constraint per block;
+* :func:`transposable_block_mask` -- greedy-with-repair construction of
+  the maximum-score strictly transposable block mask (each row *and*
+  each column keeps at most N entries);
+* :func:`transposable_mask` -- whole-matrix construction block by block;
+* :func:`transposable_sparsify` -- the NM-T counterpart of Algorithm 1,
+  with per-block N chosen from the candidate set.
+
+The construction is the classic greedy algorithm on the bipartite
+degree-constrained subgraph problem: sort candidate entries by score and
+accept an entry when its row and column quotas are still open.  A repair
+pass then fills under-quota rows/columns where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .blocks import merge_from_blocks, split_into_blocks
+from .masks import unstructured_mask
+from .patterns import DEFAULT_M, PatternSpec, PatternFamily, nearest_candidate
+
+__all__ = [
+    "is_transposable",
+    "transposable_block_mask",
+    "transposable_mask",
+    "transposable_sparsify",
+]
+
+
+def is_transposable(mask: np.ndarray, n: int, m: Optional[int] = None) -> bool:
+    """True when every row *and* every column keeps at most ``n`` entries."""
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError(f"expected a 2-D mask, got {mask.shape}")
+    if m is not None and mask.shape != (m, m):
+        raise ValueError(f"expected a {m}x{m} block")
+    return bool(mask.sum(axis=0).max(initial=0) <= n and mask.sum(axis=1).max(initial=0) <= n)
+
+
+def transposable_block_mask(scores: np.ndarray, n: int) -> np.ndarray:
+    """Max-score strictly transposable mask of one square block.
+
+    Greedy by descending score with row/column quotas, followed by a
+    repair pass that tops up rows and columns that are both under quota
+    (the greedy solution can strand capacity).  The result always
+    satisfies the 2-D constraint; on ties it is deterministic.
+    """
+    scores = np.abs(np.asarray(scores, dtype=np.float64))
+    if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
+        raise ValueError(f"expected a square block, got {scores.shape}")
+    m = scores.shape[0]
+    if not 0 <= n <= m:
+        raise ValueError(f"N must be in [0, {m}], got {n}")
+    mask = np.zeros((m, m), dtype=bool)
+    if n == 0:
+        return mask
+    if n == m:
+        return np.ones((m, m), dtype=bool)
+
+    row_quota = np.full(m, n)
+    col_quota = np.full(m, n)
+    order = np.dstack(np.unravel_index(np.argsort(-scores, axis=None, kind="stable"), scores.shape))[0]
+    deferred = []
+    for i, j in order:
+        if row_quota[i] > 0 and col_quota[j] > 0:
+            mask[i, j] = True
+            row_quota[i] -= 1
+            col_quota[j] -= 1
+        else:
+            deferred.append((i, j))
+    # Repair: greedy can strand quota (row open, all its open columns
+    # taken); one more descending pass over the rejects fixes the easy
+    # cases.
+    for i, j in deferred:
+        if row_quota[i] > 0 and col_quota[j] > 0 and not mask[i, j]:
+            mask[i, j] = True
+            row_quota[i] -= 1
+            col_quota[j] -= 1
+    return mask
+
+
+def transposable_mask(
+    scores: np.ndarray,
+    n: int,
+    m: int = DEFAULT_M,
+) -> np.ndarray:
+    """Whole-matrix strictly transposable N:M mask with fixed ``n``."""
+    scores = np.abs(np.asarray(scores, dtype=np.float64))
+    if scores.ndim != 2:
+        raise ValueError(f"expected a 2-D score matrix, got {scores.shape}")
+    rows, cols = scores.shape
+    blocks = split_into_blocks(scores, m)
+    n_br, n_bc = blocks.shape[:2]
+    out = np.zeros((n_br, n_bc, m, m), dtype=bool)
+    for br in range(n_br):
+        for bc in range(n_bc):
+            out[br, bc] = transposable_block_mask(blocks[br, bc], n)
+    return merge_from_blocks(out, rows, cols)
+
+
+def transposable_sparsify(
+    scores: np.ndarray,
+    m: int = DEFAULT_M,
+    sparsity: float = 0.5,
+    candidates: Optional[Sequence[int]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """NM-T with block-adaptive N (the fairest comparison against TBS).
+
+    Like Algorithm 1, each block's N comes from its unstructured
+    density; unlike TBS the block must then satisfy N:M in *both*
+    dimensions.  Returns ``(mask, block_n)``.
+    """
+    spec = PatternSpec(
+        PatternFamily.TBS, m=m, sparsity=sparsity, candidates=tuple(candidates) if candidates else None
+    )
+    scores = np.abs(np.asarray(scores, dtype=np.float64))
+    us = unstructured_mask(scores, sparsity)
+    score_blocks = split_into_blocks(scores, m)
+    density = split_into_blocks(us.astype(np.float64), m).mean(axis=(2, 3))
+    n_br, n_bc = density.shape
+    out = np.zeros((n_br, n_bc, m, m), dtype=bool)
+    block_n = np.zeros((n_br, n_bc), dtype=np.int64)
+    for br in range(n_br):
+        for bc in range(n_bc):
+            n = nearest_candidate(float(density[br, bc]), m, spec.candidates)
+            block_n[br, bc] = n
+            out[br, bc] = transposable_block_mask(score_blocks[br, bc], n)
+    rows, cols = scores.shape
+    return merge_from_blocks(out, rows, cols), block_n

@@ -1,0 +1,61 @@
+"""Sparse storage formats and the adaptive codec's format conversion.
+
+Implements the paper's Sec. V stack:
+
+* :mod:`~repro.formats.dense` / :mod:`~repro.formats.csr` /
+  :mod:`~repro.formats.sdc` -- the baseline formats whose weaknesses
+  motivate DDC (Fig. 7);
+* :mod:`~repro.formats.ddc` -- Dual-Dimensional Compression (Fig. 8(a));
+* :mod:`~repro.formats.conversion` -- the queue-group storage-to-
+  computation conversion (Fig. 9);
+* :mod:`~repro.formats.memory_model` -- the bandwidth-utilization
+  analysis behind the 1.47x claim.
+"""
+
+from .bitmap import BitmapFormat
+from .base import (
+    DDC_INFO_BYTES,
+    VALUE_BYTES,
+    EncodedMatrix,
+    Segment,
+    SparseFormat,
+    apply_mask,
+    merge_contiguous,
+)
+from .conversion import ConversionSchedule, StorageElement, block_storage_stream, convert_block
+from .csr import CSRFormat
+from .ddc import DDCFormat, infer_block_pattern
+from .dense import DenseFormat
+from .memory_model import (
+    DEFAULT_BURST_BYTES,
+    TrafficReport,
+    compare_formats,
+    traffic_report,
+    useful_bytes_floor,
+)
+from .sdc import SDCFormat
+
+__all__ = [
+    "BitmapFormat",
+    "CSRFormat",
+    "ConversionSchedule",
+    "DDCFormat",
+    "DDC_INFO_BYTES",
+    "DEFAULT_BURST_BYTES",
+    "DenseFormat",
+    "EncodedMatrix",
+    "SDCFormat",
+    "Segment",
+    "SparseFormat",
+    "StorageElement",
+    "TrafficReport",
+    "VALUE_BYTES",
+    "apply_mask",
+    "block_storage_stream",
+    "compare_formats",
+    "convert_block",
+    "infer_block_pattern",
+    "merge_contiguous",
+    "traffic_report",
+    "useful_bytes_floor",
+]

@@ -1,0 +1,144 @@
+"""Common machinery for sparse storage formats.
+
+A format encodes a sparse matrix into a byte layout and -- crucially for
+the paper's Challenge-2 -- determines the *memory access trace* the
+tensor core generates while consuming the matrix in block-major
+computation order.  Two properties of that trace drive bandwidth
+utilization (Fig. 7):
+
+* **redundancy** -- bytes fetched that carry no non-zero payload
+  (SDC's alignment padding);
+* **contiguity** -- how many separate burst transactions the trace needs
+  (CSR's scattered short row segments).
+
+Every encoder returns an :class:`EncodedMatrix` carrying the storage
+footprint breakdown, the consumption-order trace as address segments, and
+enough arrays to decode the matrix back exactly (used by the round-trip
+tests and by the functional simulator).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: FP16 storage, as in the paper's DVPE datapath.
+VALUE_BYTES = 2
+#: Column index width used by CSR (16-bit covers the evaluated layers).
+CSR_INDEX_BYTES = 2
+#: CSR row-pointer width.
+CSR_PTR_BYTES = 4
+#: DDC per-block Info-table entry: 1b dim + 3b ratio + 12b offset = 16 bits.
+DDC_INFO_BYTES = 2
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous read in the consumption-order access trace."""
+
+    addr: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.addr < 0 or self.nbytes < 0:
+            raise ValueError(f"invalid segment ({self.addr}, {self.nbytes})")
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.nbytes
+
+
+@dataclass
+class EncodedMatrix:
+    """A sparse matrix in one storage format.
+
+    Attributes
+    ----------
+    format_name:
+        Short identifier ("dense", "csr", "sdc", "ddc").
+    shape:
+        Logical (rows, cols) of the original matrix.
+    nnz:
+        Non-zero count.
+    value_bytes / index_bytes / meta_bytes:
+        Storage footprint breakdown.
+    segments:
+        Consumption-order access trace (block-major, matching how the PE
+        array drains the matrix).
+    arrays:
+        Format-specific payload arrays, sufficient for exact decode.
+    """
+
+    format_name: str
+    shape: Tuple[int, int]
+    nnz: int
+    value_bytes: int
+    index_bytes: int
+    meta_bytes: int
+    segments: List[Segment] = field(default_factory=list)
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.value_bytes + self.index_bytes + self.meta_bytes
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes that carry actual non-zero values (the useful traffic)."""
+        return self.nnz * VALUE_BYTES
+
+    @property
+    def traced_bytes(self) -> int:
+        return sum(seg.nbytes for seg in self.segments)
+
+
+class SparseFormat(abc.ABC):
+    """Interface implemented by every storage format."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def encode(
+        self,
+        values: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        tbs=None,
+        block_size: int = 8,
+    ) -> EncodedMatrix:
+        """Encode ``values`` (zeros already applied or given via ``mask``).
+
+        ``tbs`` is the :class:`~repro.core.sparsify.TBSResult` when the
+        matrix carries TBS metadata -- required by DDC, ignored by the
+        baseline formats.
+        """
+
+    @abc.abstractmethod
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        """Exact inverse of :meth:`encode`."""
+
+
+def apply_mask(values: np.ndarray, mask: Optional[np.ndarray]) -> np.ndarray:
+    """Materialise the sparse matrix ``values * mask`` as float64."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {values.shape}")
+    if mask is None:
+        return values
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != values.shape:
+        raise ValueError(f"mask shape {mask.shape} != values shape {values.shape}")
+    return np.where(mask, values, 0.0)
+
+
+def merge_contiguous(segments: List[Segment]) -> List[Segment]:
+    """Coalesce address-adjacent segments (a streaming prefetcher's view)."""
+    merged: List[Segment] = []
+    for seg in segments:
+        if merged and merged[-1].end == seg.addr:
+            merged[-1] = Segment(merged[-1].addr, merged[-1].nbytes + seg.nbytes)
+        else:
+            merged.append(Segment(seg.addr, seg.nbytes))
+    return merged

@@ -1,0 +1,60 @@
+"""Bitmap-compressed storage -- the RM-STC unstructured baseline format.
+
+Unstructured accelerators (RM-STC, SIGMA) ship the non-zero values as a
+packed stream plus a 1-bit-per-position occupancy bitmap.  Both streams
+are perfectly contiguous, so bandwidth utilization is decent; the price
+is the fixed ``rows * cols / 8`` bytes of bitmap regardless of sparsity
+and the gather hardware needed to expand it (charged in the energy
+model via ``datapath_energy_scale``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .base import VALUE_BYTES, EncodedMatrix, Segment, SparseFormat, apply_mask
+
+
+class BitmapFormat(SparseFormat):
+    """Packed non-zero stream + occupancy bitmap."""
+
+    name = "bitmap"
+
+    def encode(
+        self,
+        values: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        tbs=None,
+        block_size: int = 8,
+    ) -> EncodedMatrix:
+        dense = apply_mask(values, mask)
+        rows, cols = dense.shape
+        occupancy = dense != 0.0
+        nz_values = dense[occupancy]
+        nnz = int(nz_values.size)
+        bitmap_bytes = int(math.ceil(rows * cols / 8.0)) if rows * cols else 0
+        value_bytes = nnz * VALUE_BYTES
+        segments = []
+        if bitmap_bytes:
+            segments.append(Segment(0, bitmap_bytes))
+        if value_bytes:
+            segments.append(Segment(bitmap_bytes, value_bytes))
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=(rows, cols),
+            nnz=nnz,
+            value_bytes=value_bytes,
+            index_bytes=0,
+            meta_bytes=bitmap_bytes,
+            segments=segments,
+            arrays={"bitmap": occupancy, "values": nz_values},
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        rows, cols = encoded.shape
+        dense = np.zeros((rows, cols))
+        dense[encoded.arrays["bitmap"]] = encoded.arrays["values"]
+        return dense

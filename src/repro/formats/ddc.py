@@ -1,0 +1,188 @@
+"""Dual-Dimensional Compression -- the TB-STC storage format (Sec. V-A).
+
+DDC stores the matrix block by block:
+
+* **Inter-block**: an Info table with one 16-bit entry per block --
+  1 bit sparsity dimension, 3 bits sparsity ratio (the block's N), and a
+  12-bit element offset of the block payload (Fig. 8(a)).
+* **Intra-block**: the block's non-zeros compressed *along the block's own
+  sparsity dimension* -- row-major runs of N values for reduction-dim
+  blocks, column-major runs for independent-dim blocks -- plus 3-bit
+  position indices.
+
+Because each block's payload is a single contiguous run and carries no
+alignment padding, DDC combines SDC's regular access with CSR's minimal
+footprint, which is where the 1.47x bandwidth-utilization gain comes
+from.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.blocks import extract_block, iter_blocks, scatter_block
+from ..core.patterns import Direction
+from .base import (
+    DDC_INFO_BYTES,
+    VALUE_BYTES,
+    EncodedMatrix,
+    Segment,
+    SparseFormat,
+    apply_mask,
+)
+
+__all__ = ["DDCFormat", "infer_block_pattern"]
+
+
+def infer_block_pattern(block: np.ndarray) -> tuple:
+    """Infer (n, direction) of one block from its non-zero structure.
+
+    A block whose rows all carry the same count ``n`` is a valid
+    reduction-dim (ROW) block; uniform column counts give COL.  When both
+    hold (e.g. empty or dense blocks) ROW wins; when neither holds the
+    block is stored at the direction with the smaller maximum count,
+    padded to that count (graceful handling of near-TBS inputs).
+    Returns ``(n, direction, exact)``.
+    """
+    row_counts = np.count_nonzero(block, axis=1)
+    col_counts = np.count_nonzero(block, axis=0)
+    # A lane set is "uniform" when every non-empty lane carries the same
+    # count (empty lanes are allowed: the N:M constraint is "at most N",
+    # and ragged-edge padding produces legitimately empty lanes).
+    row_max = int(row_counts.max())
+    col_max = int(col_counts.max())
+    row_uniform = set(row_counts.tolist()) <= {0, row_max}
+    col_uniform = set(col_counts.tolist()) <= {0, col_max}
+    if row_uniform:
+        return row_max, Direction.ROW, True
+    if col_uniform:
+        return col_max, Direction.COL, True
+    if row_max <= col_max:
+        return row_max, Direction.ROW, False
+    return col_max, Direction.COL, False
+
+
+def _index_bytes(count: int, m: int) -> int:
+    """Packed position-index bytes: log2(M) bits per kept element."""
+    bits_per = max(1, int(math.ceil(math.log2(max(2, m)))))
+    return int(math.ceil(count * bits_per / 8.0))
+
+
+class DDCFormat(SparseFormat):
+    """The paper's dual-dimensional compression format."""
+
+    name = "ddc"
+
+    def encode(
+        self,
+        values: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        tbs=None,
+        block_size: int = 8,
+    ) -> EncodedMatrix:
+        dense = apply_mask(values, mask)
+        rows, cols = dense.shape
+        m = tbs.m if tbs is not None else block_size
+
+        block_meta: List[dict] = []
+        payload_vals: List[np.ndarray] = []
+        payload_idx: List[np.ndarray] = []
+        offset = 0
+        value_bytes = 0
+        index_bytes = 0
+        segments: List[Segment] = []
+
+        block_list = list(iter_blocks(rows, cols, m))
+        info_bytes = len(block_list) * DDC_INFO_BYTES
+        if info_bytes:
+            segments.append(Segment(0, info_bytes))  # streamed Info table
+        payload_base = info_bytes
+
+        for bidx in block_list:
+            block = extract_block(dense, bidx, m)
+            if tbs is not None:
+                n = int(tbs.block_n[bidx.row, bidx.col])
+                direction = Direction(int(tbs.block_direction[bidx.row, bidx.col]))
+            else:
+                n, direction, _ = infer_block_pattern(block)
+
+            work = block if direction is Direction.ROW else block.T
+            vals = np.zeros((m, n))
+            idxs = np.zeros((m, n), dtype=np.int64)
+            for lane in range(m):
+                nz = np.nonzero(work[lane])[0][:n]
+                vals[lane, : nz.size] = work[lane, nz]
+                idxs[lane, : nz.size] = nz
+                # Pad unused slots with a repeat of the last index so the
+                # decode scatter stays idempotent (value 0 writes).
+                if nz.size < n and nz.size > 0:
+                    idxs[lane, nz.size :] = nz[-1]
+
+            count = m * n
+            v_bytes = count * VALUE_BYTES
+            i_bytes = _index_bytes(count, m)
+            block_meta.append(
+                {"n": n, "direction": direction.value, "offset": offset, "row": bidx.row, "col": bidx.col}
+            )
+            payload_vals.append(vals)
+            payload_idx.append(idxs)
+            if v_bytes + i_bytes:
+                segments.append(Segment(payload_base + offset, v_bytes + i_bytes))
+            offset += v_bytes + i_bytes
+            value_bytes += v_bytes
+            index_bytes += i_bytes
+
+        def _object_array(items: List) -> np.ndarray:
+            arr = np.empty(len(items), dtype=object)
+            for i, item in enumerate(items):
+                arr[i] = item
+            return arr
+
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=(rows, cols),
+            nnz=int(np.count_nonzero(dense)),
+            value_bytes=value_bytes,
+            index_bytes=index_bytes,
+            meta_bytes=info_bytes,
+            segments=segments,
+            arrays={
+                "block_meta": _object_array(block_meta),
+                "block_values": _object_array(payload_vals),
+                "block_indices": _object_array(payload_idx),
+                "m": np.array(m),
+            },
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        rows, cols = encoded.shape
+        m = int(encoded.arrays["m"])
+        dense = np.zeros((rows, cols))
+        metas = encoded.arrays["block_meta"]
+        all_vals = encoded.arrays["block_values"]
+        all_idxs = encoded.arrays["block_indices"]
+        blocks = {(b.row, b.col): b for b in iter_blocks(rows, cols, m)}
+        for meta, vals, idxs in zip(metas, all_vals, all_idxs):
+            bidx = blocks[(meta["row"], meta["col"])]
+            block = np.zeros((m, m))
+            n = meta["n"]
+            for lane in range(m):
+                for k in range(n):
+                    # Padding slots carry value 0 with a duplicated index;
+                    # skipping them keeps the real value intact.
+                    if vals[lane, k] != 0.0:
+                        block[lane, idxs[lane, k]] = vals[lane, k]
+            if Direction(meta["direction"]) is Direction.COL:
+                block = block.T
+            scatter_block(dense, bidx, block)
+        return dense
+
+    @staticmethod
+    def compression_ratio(encoded: EncodedMatrix) -> float:
+        """Dense bytes / DDC bytes."""
+        rows, cols = encoded.shape
+        dense_bytes = rows * cols * VALUE_BYTES
+        return dense_bytes / encoded.total_bytes if encoded.total_bytes else float("inf")

@@ -1,0 +1,46 @@
+"""Dense (uncompressed) storage -- the Tensor Core baseline format."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import VALUE_BYTES, EncodedMatrix, Segment, SparseFormat, apply_mask
+
+
+class DenseFormat(SparseFormat):
+    """Row-major dense layout.
+
+    Perfectly contiguous and redundancy-free *as a byte stream*, but the
+    stream carries every zero, so the sparse-compute "useful fraction" of
+    its traffic equals the matrix density.
+    """
+
+    name = "dense"
+
+    def encode(
+        self,
+        values: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        tbs=None,
+        block_size: int = 8,
+    ) -> EncodedMatrix:
+        dense = apply_mask(values, mask)
+        rows, cols = dense.shape
+        nbytes = rows * cols * VALUE_BYTES
+        # One streaming segment: the whole matrix, row-major.
+        segments = [Segment(0, nbytes)] if nbytes else []
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=(rows, cols),
+            nnz=int(np.count_nonzero(dense)),
+            value_bytes=nbytes,
+            index_bytes=0,
+            meta_bytes=0,
+            segments=segments,
+            arrays={"dense": dense.copy()},
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        return encoded.arrays["dense"].copy()

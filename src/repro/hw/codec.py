@@ -1,0 +1,100 @@
+"""Hardware accounting for the adaptive codec unit (Fig. 8(b)).
+
+The functional conversion lives in :mod:`repro.formats.conversion`;
+this layer adds what the cycle simulator needs:
+
+* conversion cycles per block (only independent-dimension blocks convert;
+  reduction-dimension blocks pass through, Fig. 9(a));
+* how much of that work hides under the PE pipeline (Fig. 14 shows only
+  ~3.57% visible overhead);
+* element counts for the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.patterns import Direction
+from ..formats.conversion import block_storage_stream, convert_block
+
+__all__ = ["CodecStats", "CodecUnit"]
+
+
+@dataclass
+class CodecStats:
+    """Aggregated codec activity over one workload."""
+
+    converted_blocks: int = 0
+    passthrough_blocks: int = 0
+    elements: int = 0
+    conversion_cycles: int = 0
+    visible_cycles: int = 0
+
+    def merge(self, other: "CodecStats") -> None:
+        self.converted_blocks += other.converted_blocks
+        self.passthrough_blocks += other.passthrough_blocks
+        self.elements += other.elements
+        self.conversion_cycles += other.conversion_cycles
+        self.visible_cycles += other.visible_cycles
+
+
+class CodecUnit:
+    """Cycle/energy accounting for the codec's queue group."""
+
+    def __init__(self, lanes: int = 8, in_width: int = 2, threshold: int = 2):
+        if lanes < 1:
+            raise ValueError("codec lanes must be positive")
+        self.lanes = lanes
+        self.in_width = in_width
+        self.threshold = threshold
+
+    def process_block(
+        self,
+        block_values: np.ndarray,
+        direction: Direction,
+        pe_cycles: int,
+    ) -> CodecStats:
+        """Account one block.
+
+        ``pe_cycles`` is how long the PE array will chew on this block;
+        the codec streams ahead of the PEs, so conversion is visible
+        only to the extent it exceeds the compute time (plus the final
+        merge beat).
+        """
+        stats = CodecStats()
+        nnz = int(np.count_nonzero(block_values))
+        stats.elements = nnz
+        if direction is Direction.ROW or nnz == 0:
+            stats.passthrough_blocks = 1
+            return stats
+        stream = block_storage_stream(np.asarray(block_values), direction)
+        schedule = convert_block(
+            stream,
+            n_queues=self.lanes,
+            in_width=self.in_width,
+            threshold=self.threshold,
+        )
+        stats.converted_blocks = 1
+        stats.conversion_cycles = schedule.cycles
+        # The flush beat cannot be hidden (the PE waits for the last
+        # elements); anything beyond the PE's own runtime is also
+        # exposed.
+        stats.visible_cycles = schedule.flush_cycles + max(0, schedule.cycles - pe_cycles)
+        return stats
+
+    def process_workload(
+        self,
+        blocks: Sequence[np.ndarray],
+        directions: Sequence[Direction],
+        pe_cycles: Sequence[int],
+    ) -> CodecStats:
+        """Aggregate over a block list (same order as the scheduler's)."""
+        if not (len(blocks) == len(directions) == len(pe_cycles)):
+            raise ValueError("blocks, directions and pe_cycles must align")
+        total = CodecStats()
+        for block, direction, cycles in zip(blocks, directions, pe_cycles):
+            total.merge(self.process_block(block, direction, cycles))
+        return total

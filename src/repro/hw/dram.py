@@ -1,0 +1,84 @@
+"""Cycle-level DRAM model (the Ramulator / DRAMPower stand-in).
+
+Bandwidth is the paper's first-order constraint (64 GB/s baseline,
+swept in Fig. 15(c)).  The model charges:
+
+* streaming transfer time: ``fetched_bytes / bytes_per_cycle``;
+* a per-burst command overhead for non-contiguous traffic, so traces
+  with many short bursts (CSR-style) cannot reach peak bandwidth even
+  when the byte count is small;
+* a fixed access latency for the first beat of the tensor.
+
+Energy follows DRAMPower's activate + read/write decomposition,
+simplified to per-burst activation plus per-byte transfer costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..formats.memory_model import TrafficReport
+
+__all__ = ["DRAMModel", "DRAMResult"]
+
+
+@dataclass(frozen=True)
+class DRAMResult:
+    """Timing and energy of one tensor transfer."""
+
+    cycles: int
+    fetched_bytes: float
+    energy_pj: float
+    effective_bandwidth_fraction: float
+
+
+class DRAMModel:
+    """A bandwidth/latency/energy model for one memory channel."""
+
+    def __init__(
+        self,
+        bandwidth_gbs: float = 64.0,
+        frequency_ghz: float = 1.0,
+        burst_bytes: int = 32,
+        first_access_latency: int = 40,
+        per_burst_overhead_cycles: float = 0.25,
+        activate_pj: float = 80.0,
+        byte_pj: float = 4.0,
+    ):
+        if bandwidth_gbs <= 0 or frequency_ghz <= 0:
+            raise ValueError("bandwidth and frequency must be positive")
+        self.bandwidth_gbs = bandwidth_gbs
+        self.frequency_ghz = frequency_ghz
+        self.burst_bytes = burst_bytes
+        self.first_access_latency = first_access_latency
+        self.per_burst_overhead_cycles = per_burst_overhead_cycles
+        self.activate_pj = activate_pj
+        self.byte_pj = byte_pj
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.bandwidth_gbs / self.frequency_ghz
+
+    def transfer(self, nbytes: float, num_bursts: int = 1, contiguous: bool = True) -> DRAMResult:
+        """Timing/energy of moving ``nbytes`` split into ``num_bursts``.
+
+        Contiguous streams hide the per-burst overhead behind the data
+        transfer; scattered traces pay it serially.
+        """
+        if nbytes < 0 or num_bursts < 0:
+            raise ValueError("negative transfer size")
+        if nbytes == 0:
+            return DRAMResult(0, 0.0, 0.0, 1.0)
+        stream_cycles = nbytes / self.bytes_per_cycle
+        overhead = 0.0 if contiguous else num_bursts * self.per_burst_overhead_cycles
+        cycles = int(math.ceil(stream_cycles + overhead)) + self.first_access_latency
+        energy = num_bursts * self.activate_pj + nbytes * self.byte_pj
+        ideal = nbytes / self.bytes_per_cycle
+        fraction = min(1.0, ideal / max(1e-9, cycles - self.first_access_latency))
+        return DRAMResult(cycles, nbytes, energy, fraction)
+
+    def transfer_report(self, report: TrafficReport) -> DRAMResult:
+        """Transfer an encoded matrix given its traffic analysis."""
+        contiguous = report.num_segments <= max(1, report.num_bursts // 8)
+        return self.transfer(report.fetched_bytes, report.num_bursts, contiguous)

@@ -1,0 +1,107 @@
+"""Diverse Vector PE with configurable reduction nodes and alternate unit.
+
+A DVPE (Fig. 10(a)) is an ``lanes``-wide FP16 multiplier array feeding a
+tree of reduction nodes.  Each node either *accumulates* its two inputs
+or *transmits* them unchanged, which is what lets one issue group carry
+several concatenated segments (intra-block mapping) and still produce
+separate partial sums.
+
+The alternate unit buffers result beats when an issue group closes more
+segments than the output port can drain in one cycle, trading a small
+buffer for not stalling the multiplier array (Sec. VI-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .mapping import BlockWork, MappedSchedule, map_balanced, map_naive
+
+__all__ = ["DVPEResult", "DVPE"]
+
+
+@dataclass(frozen=True)
+class DVPEResult:
+    """Execution summary of one block on one DVPE."""
+
+    compute_cycles: int
+    stall_cycles: int
+    macs: int
+    results: int
+    max_buffer_occupancy: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.stall_cycles
+
+    def utilization(self, lanes: int) -> float:
+        if self.total_cycles == 0:
+            return 1.0
+        return self.macs / (self.total_cycles * lanes)
+
+
+class DVPE:
+    """Cycle model of one Diverse Vector PE."""
+
+    def __init__(
+        self,
+        lanes: int = 8,
+        output_port_width: int = 2,
+        alternate_unit: bool = True,
+        alternate_buffer_depth: int = 8,
+        intra_block_mapping: bool = True,
+    ):
+        if lanes < 1 or output_port_width < 1 or alternate_buffer_depth < 0:
+            raise ValueError("invalid DVPE parameters")
+        self.lanes = lanes
+        self.output_port_width = output_port_width
+        self.alternate_unit = alternate_unit
+        self.alternate_buffer_depth = alternate_buffer_depth
+        self.intra_block_mapping = intra_block_mapping
+
+    def schedule(self, work: BlockWork) -> MappedSchedule:
+        mapper = map_balanced if self.intra_block_mapping else map_naive
+        return mapper(work, self.lanes)
+
+    def execute(self, work: BlockWork) -> DVPEResult:
+        """Run one block through the multiplier array and output stage.
+
+        Output pressure: each cycle may complete several segments but the
+        port drains only ``output_port_width`` results.  With the
+        alternate unit the excess parks in the buffer (stalling only on
+        overflow); without it the multiplier array stalls immediately.
+        """
+        sched = self.schedule(work)
+        buffer_occ = 0
+        max_occ = 0
+        stalls = 0
+        for produced in sched.outputs_per_cycle:
+            buffer_occ += produced
+            drained = min(self.output_port_width, buffer_occ)
+            buffer_occ -= drained
+            capacity = self.alternate_buffer_depth if self.alternate_unit else 0
+            while buffer_occ > capacity:
+                stalls += 1
+                drain = min(self.output_port_width, buffer_occ)
+                buffer_occ -= drain
+            max_occ = max(max_occ, buffer_occ)
+        # Drain whatever is still buffered after the last issue group.
+        while buffer_occ > 0:
+            stalls += 1
+            buffer_occ -= min(self.output_port_width, buffer_occ)
+        # The final drain overlaps the next block's first cycles when the
+        # alternate unit exists; count it as stall only without it.
+        if self.alternate_unit:
+            stalls = max(0, stalls - (max_occ // self.output_port_width))
+        return DVPEResult(
+            compute_cycles=sched.num_cycles,
+            stall_cycles=stalls,
+            macs=sched.macs,
+            results=sum(sched.outputs_per_cycle),
+            max_buffer_occupancy=max_occ,
+        )
+
+    def block_cost(self, work: BlockWork) -> int:
+        """Cycles to execute one block (the scheduler's cost metric)."""
+        return self.execute(work).total_cycles

@@ -1,0 +1,149 @@
+"""Intra-block sparsity-aware mapping (Sec. VI-B2, Fig. 11(c)/(d)).
+
+A block arrives at a DVPE as its *computation-format segments*: one run
+of non-zeros per output lane (for reduction-dim blocks every segment has
+exactly N elements; for independent-dim blocks -- after the codec's
+conversion -- segment lengths vary per row, summing to ``N * M``).
+
+* **Naive mapping** issues one segment per pipeline cycle, so a segment
+  with 1 element wastes 7 of the 8 multiplier lanes.
+* **Sparsity-aware mapping** concatenates consecutive segments into full
+  ``M``-wide issue groups; the block-level invariant that the total
+  non-zero count is a multiple of M guarantees perfect packing, and the
+  reduction nodes' accumulate/transmit configuration splits the partial
+  sums back out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.patterns import Direction
+
+__all__ = ["BlockWork", "MappedSchedule", "block_work_from_mask", "map_naive", "map_balanced"]
+
+
+@dataclass(frozen=True)
+class BlockWork:
+    """Computation-format description of one block's work."""
+
+    segments: Tuple[int, ...]  # per-output-lane non-zero counts
+    m: int
+    direction: Direction = Direction.ROW
+
+    def __post_init__(self) -> None:
+        if any(s < 0 for s in self.segments):
+            raise ValueError("segment lengths must be non-negative")
+
+    @property
+    def nnz(self) -> int:
+        return sum(self.segments)
+
+
+@dataclass
+class MappedSchedule:
+    """Issue schedule of one block on one DVPE.
+
+    ``cycles`` is the list of issue groups; each group is a list of
+    ``(segment_id, count)`` pieces occupying the multiplier lanes that
+    cycle.  ``outputs_per_cycle`` counts segment *completions* per cycle
+    (results handed to the reduction network / alternate unit).
+    """
+
+    cycles: List[List[Tuple[int, int]]] = field(default_factory=list)
+    outputs_per_cycle: List[int] = field(default_factory=list)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def macs(self) -> int:
+        return sum(count for cycle in self.cycles for _, count in cycle)
+
+    def utilization(self, lanes: int) -> float:
+        if not self.cycles:
+            return 1.0
+        return self.macs / (self.num_cycles * lanes)
+
+
+def block_work_from_mask(block_mask: np.ndarray, direction: Direction, m: int) -> BlockWork:
+    """Computation-format segments of one block.
+
+    Computation format always runs along the reduction dimension: every
+    output row of the block contributes one segment with that row's
+    non-zero count.  Reduction-dim blocks have uniform segments; for
+    independent-dim blocks the codec has converted the layout, but the
+    per-row counts (and hence the imbalance) remain.
+    """
+    block_mask = np.asarray(block_mask, dtype=bool)
+    if block_mask.ndim != 2:
+        raise ValueError(f"expected a 2-D block mask, got {block_mask.shape}")
+    counts = block_mask.sum(axis=1)
+    return BlockWork(tuple(int(c) for c in counts), m=m, direction=direction)
+
+
+def map_naive(work: BlockWork, lanes: int) -> MappedSchedule:
+    """One segment per issue group; long segments split across cycles."""
+    if lanes < 1:
+        raise ValueError("lanes must be positive")
+    schedule = MappedSchedule()
+    for seg_id, count in enumerate(work.segments):
+        if count == 0:
+            continue
+        remaining = count
+        while remaining > 0:
+            take = min(lanes, remaining)
+            schedule.cycles.append([(seg_id, take)])
+            remaining -= take
+            schedule.outputs_per_cycle.append(1 if remaining == 0 else 0)
+    return schedule
+
+
+def map_balanced(work: BlockWork, lanes: int) -> MappedSchedule:
+    """Greedy concatenation of consecutive segments into full issue groups.
+
+    Packs the segment stream into ``ceil(nnz / lanes)`` cycles.  A cycle
+    may close several short segments at once (each closure is one output
+    result the reduction network must emit).
+    """
+    if lanes < 1:
+        raise ValueError("lanes must be positive")
+    schedule = MappedSchedule()
+    current: List[Tuple[int, int]] = []
+    free = lanes
+    completions = 0
+
+    def _flush() -> None:
+        nonlocal current, free, completions
+        if current:
+            schedule.cycles.append(current)
+            schedule.outputs_per_cycle.append(completions)
+        current = []
+        free = lanes
+        completions = 0
+
+    for seg_id, count in enumerate(work.segments):
+        remaining = count
+        while remaining > 0:
+            take = min(free, remaining)
+            current.append((seg_id, take))
+            free -= take
+            remaining -= take
+            if remaining == 0:
+                completions += 1
+            if free == 0:
+                _flush()
+    _flush()
+    return schedule
+
+
+def mapping_cycles(work: BlockWork, lanes: int, balanced: bool) -> int:
+    """Cycle count without materialising the schedule (fast path)."""
+    if balanced:
+        return math.ceil(work.nnz / lanes) if work.nnz else 0
+    return sum(math.ceil(c / lanes) for c in work.segments if c)

@@ -1,0 +1,71 @@
+"""Numpy neural-network substrate for the accuracy experiments."""
+
+from .data import cluster_dataset, image_dataset, sequence_dataset
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaskableMixin,
+    MaxPool2d,
+    Module,
+    MultiHeadSelfAttention,
+    ReLU,
+    Residual,
+    Sequential,
+    TransformerEncoderLayer,
+)
+from .losses import accuracy, mse_loss, softmax_cross_entropy
+from .models import Embedding, TransformerClassifier, make_cnn, make_mlp, prunable_layers
+from .optim import SGD, Adam
+from .quantize import quantization_error, quantize_model, quantize_weights
+from .schedulers import ConstantLR, CosineLR, StepLR, WarmupLR
+from .train import TrainResult, apply_masks, evaluate, one_shot_prune, train
+
+__all__ = [
+    "Adam",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "GlobalAvgPool2d",
+    "LayerNorm",
+    "Linear",
+    "MaskableMixin",
+    "MaxPool2d",
+    "Module",
+    "MultiHeadSelfAttention",
+    "ReLU",
+    "Residual",
+    "SGD",
+    "Sequential",
+    "ConstantLR",
+    "CosineLR",
+    "StepLR",
+    "WarmupLR",
+    "TrainResult",
+    "TransformerClassifier",
+    "TransformerEncoderLayer",
+    "accuracy",
+    "apply_masks",
+    "cluster_dataset",
+    "evaluate",
+    "image_dataset",
+    "make_cnn",
+    "make_mlp",
+    "mse_loss",
+    "one_shot_prune",
+    "prunable_layers",
+    "quantization_error",
+    "quantize_model",
+    "quantize_weights",
+    "sequence_dataset",
+    "softmax_cross_entropy",
+    "train",
+]

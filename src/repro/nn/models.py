@@ -1,0 +1,155 @@
+"""Proxy models for the accuracy experiments.
+
+* :func:`make_mlp` -- plain classifier for the cluster task.
+* :func:`make_cnn` -- TinyResNet-style CNN (the ResNet-50/18 proxy).
+* :class:`TransformerClassifier` -- encoder classifier (the BERT proxy).
+
+Following the paper's protocol (Sec. VII-A3), the first ("stem") and
+final (classifier-head) layers are excluded from pruning;
+:func:`prunable_layers` returns the layers the sparsity patterns apply
+to, in order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Linear,
+    MaskableMixin,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Residual,
+    Sequential,
+    TransformerEncoderLayer,
+)
+
+__all__ = ["make_mlp", "make_cnn", "Embedding", "TransformerClassifier", "prunable_layers"]
+
+
+def make_mlp(in_features: int = 32, hidden: int = 64, n_classes: int = 4, depth: int = 3, seed: int = 0) -> Sequential:
+    """MLP with ``depth`` hidden layers."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    layers: List[Module] = [Linear(in_features, hidden, seed=seed), ReLU()]
+    for i in range(depth - 1):
+        layers += [Linear(hidden, hidden, seed=seed + i + 1), ReLU()]
+    layers.append(Linear(hidden, n_classes, seed=seed + depth))
+    return Sequential(*layers)
+
+
+def _basic_block(channels: int, seed: int) -> Residual:
+    return Residual(
+        Sequential(
+            Conv2d(channels, channels, 3, padding=1, seed=seed),
+            BatchNorm2d(channels),
+            ReLU(),
+            Conv2d(channels, channels, 3, padding=1, seed=seed + 1),
+            BatchNorm2d(channels),
+        )
+    )
+
+
+def make_cnn(channels: int = 3, width: int = 16, n_classes: int = 4, seed: int = 0) -> Sequential:
+    """TinyResNet: stem conv, two residual stages, pool, linear head."""
+    return Sequential(
+        Conv2d(channels, width, 3, padding=1, seed=seed),  # stem (never pruned)
+        BatchNorm2d(width),
+        ReLU(),
+        _basic_block(width, seed + 10),
+        MaxPool2d(2),
+        Conv2d(width, 2 * width, 3, padding=1, seed=seed + 20),
+        BatchNorm2d(2 * width),
+        ReLU(),
+        _basic_block(2 * width, seed + 30),
+        GlobalAvgPool2d(),
+        Linear(2 * width, n_classes, seed=seed + 40),  # head (never pruned)
+    )
+
+
+class Embedding(Module):
+    """Token embedding with learned positional table."""
+
+    def __init__(self, vocab: int, dim: int, max_len: int = 64, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.params["table"] = rng.normal(0, 0.5, size=(vocab, dim))
+        self.params["pos"] = rng.normal(0, 0.1, size=(max_len, dim))
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        self._tokens = tokens
+        seq = tokens.shape[1]
+        return self.params["table"][tokens] + self.params["pos"][None, :seq]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        gtable = np.zeros_like(self.params["table"])
+        np.add.at(gtable, self._tokens, grad)
+        self.grads["table"] = self.grads.get("table", 0) + gtable
+        gpos = np.zeros_like(self.params["pos"])
+        gpos[: grad.shape[1]] = grad.sum(axis=0)
+        self.grads["pos"] = self.grads.get("pos", 0) + gpos
+        return grad  # tokens carry no gradient
+
+
+class TransformerClassifier(Module):
+    """Embedding -> N encoder layers -> mean pool -> linear head."""
+
+    def __init__(
+        self,
+        vocab: int = 32,
+        dim: int = 32,
+        heads: int = 4,
+        depth: int = 2,
+        n_classes: int = 4,
+        max_len: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__()
+        self.embed = Embedding(vocab, dim, max_len=max_len, seed=seed)
+        self.blocks = [TransformerEncoderLayer(dim, heads, seed=seed + 10 * (i + 1)) for i in range(depth)]
+        self.norm = LayerNorm(dim)
+        self.head = Linear(dim, n_classes, seed=seed + 99)
+
+    def modules(self) -> List[Module]:
+        mods: List[Module] = [self] + self.embed.modules()
+        for block in self.blocks:
+            mods.extend(block.modules())
+        return mods + self.norm.modules() + self.head.modules()
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        x = self.embed(tokens)
+        for block in self.blocks:
+            x = block(x)
+        x = self.norm(x)
+        self._seq = x.shape[1]
+        pooled = x.mean(axis=1)
+        return self.head(pooled)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        gpooled = self.head.backward(grad)
+        gx = np.repeat(gpooled[:, None, :], self._seq, axis=1) / self._seq
+        gx = self.norm.backward(gx)
+        for block in reversed(self.blocks):
+            gx = block.backward(gx)
+        return self.embed.backward(gx)
+
+
+def prunable_layers(model: Module) -> List[MaskableMixin]:
+    """Maskable layers excluding the stem (first) and head (last).
+
+    Matches the paper's protocol: "All layers are pruned except the stem
+    layer and the final fully-connected layer."
+    """
+    maskable = [m for m in model.modules() if isinstance(m, (Linear, Conv2d))]
+    if len(maskable) <= 2:
+        return []
+    return maskable[1:-1]

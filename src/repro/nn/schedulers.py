@@ -1,0 +1,89 @@
+"""Learning-rate schedules for the training loops.
+
+The paper retrains sparse models for many epochs; at proxy scale a
+schedule mainly buys stability for the high-sparsity runs where the
+mask regenerates every epoch.  All schedulers mutate the optimizer's
+``lr`` in place when stepped once per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import _Optimizer
+
+__all__ = ["StepLR", "CosineLR", "WarmupLR", "ConstantLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: _Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = -1
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+        return self.optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """No-op schedule (the default training behaviour)."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: _Optimizer, step_size: int = 10, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineLR(_Scheduler):
+    """Cosine decay from the base LR to ``min_lr`` over ``total`` epochs."""
+
+    def __init__(self, optimizer: _Optimizer, total: int, min_lr: float = 0.0):
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        super().__init__(optimizer)
+        self.total = total
+        self.min_lr = min_lr
+
+    def _lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.total) / self.total
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * t))
+
+
+class WarmupLR(_Scheduler):
+    """Linear warmup for ``warmup`` epochs, then an inner schedule."""
+
+    def __init__(self, optimizer: _Optimizer, warmup: int, after: _Scheduler = None):
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        super().__init__(optimizer)
+        self.warmup = warmup
+        self.after = after
+
+    def _lr_at(self, epoch: int) -> float:
+        if epoch < self.warmup:
+            return self.base_lr * (epoch + 1) / self.warmup
+        if self.after is not None:
+            return self.after._lr_at(epoch - self.warmup)
+        return self.base_lr

@@ -1,0 +1,334 @@
+"""The cycle-level simulator shared by TB-STC and every baseline.
+
+One :func:`simulate` call executes one sparse GEMM on one
+:class:`~repro.hw.config.ArchConfig`.  The pipeline (Fig. 5(b)):
+
+1. **Block extraction** -- the sparse operand is partitioned into
+   ``M x M`` blocks; each block's computation-format segments (per-output
+   -row non-zero counts) are derived from the mask.  Architectures
+   without a codec cannot consume independent-dimension blocks
+   compactly: their aligned storage pads every row of such a block to
+   the block's max row occupancy (compute and traffic both inflate).
+2. **Intra-block mapping** -- each block's DVPE cycle cost comes from the
+   mapping/alternate-unit model (:mod:`repro.hw.dvpe`).
+3. **Inter-block scheduling** -- block costs are packed onto the PE array
+   either lockstep (direct) or via the sparsity-aware scheduler.
+4. **Codec** -- independent-dimension blocks pass through the format
+   conversion; only the non-hidden part shows up in the critical path.
+5. **Memory** -- the A operand moves in the architecture's storage
+   format (traffic model + DRAM model); B is re-streamed once per A
+   row-tile (buffer-capacity tiling); D is written once.
+6. **Totals** -- compute and memory overlap (double buffering); energy
+   integrates MACs, DRAM, SRAM, codec and MBD activity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.blocks import split_into_blocks
+from ..core.patterns import Direction, PatternFamily
+from ..formats.base import VALUE_BYTES
+from ..formats.bitmap import BitmapFormat
+from ..formats.csr import CSRFormat
+from ..formats.ddc import DDCFormat
+from ..formats.dense import DenseFormat
+from ..formats.memory_model import traffic_report
+from ..formats.sdc import SDCFormat
+from ..hw.codec import CodecUnit
+from ..hw.config import ArchConfig
+from ..hw.dram import DRAMModel
+from ..hw.dvpe import DVPE
+from ..hw.energy import EnergyModel, EnergyParams
+from ..hw.mapping import BlockWork
+from ..hw.scheduler import schedule_direct, schedule_sparsity_aware
+from ..workloads.generator import GEMMWorkload
+from .metrics import SimResult
+
+__all__ = ["simulate", "block_segments", "PIPELINE_FILL_CYCLES"]
+
+#: Fixed pipeline fill/drain cost per layer launch.
+PIPELINE_FILL_CYCLES = 64
+
+_FORMATS = {
+    "dense": DenseFormat,
+    "csr": CSRFormat,
+    "sdc": SDCFormat,
+    "ddc": DDCFormat,
+    "bitmap": BitmapFormat,
+}
+
+
+def block_segments(
+    workload: GEMMWorkload, config: ArchConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-block computation-format segments as seen by ``config``.
+
+    Returns ``(row_counts, directions)`` with shapes
+    ``(n_blocks, m)`` and ``(n_blocks,)`` in block-row-major order.
+
+    * Dense architectures compute every element: all segments are M.
+    * Architectures *with* a codec consume independent-dimension blocks
+      at their true per-row occupancy (the codec converts the layout).
+    * Architectures *without* a codec see independent-dimension blocks
+      through row-aligned storage: every row pads to the block's max
+      occupancy.
+    """
+    m = workload.m
+    if config.storage_format == "dense":
+        n_br = -(-workload.shape[0] // m)
+        n_bc = -(-workload.shape[1] // m)
+        counts = np.full((n_br * n_bc, m), m, dtype=np.int64)
+        dirs = np.full(n_br * n_bc, Direction.ROW.value, dtype=np.int64)
+        return counts, dirs
+
+    blocks = split_into_blocks(workload.mask.astype(np.int64), m)
+    n_br, n_bc = blocks.shape[:2]
+    row_counts = blocks.sum(axis=3).reshape(-1, m)
+
+    if workload.tbs is not None:
+        dirs = workload.tbs.block_direction.reshape(-1).copy()
+    else:
+        dirs = np.full(n_br * n_bc, Direction.ROW.value, dtype=np.int64)
+
+    if workload.tbs is not None and not config.has_codec:
+        col_blocks = dirs == Direction.COL.value
+        if col_blocks.any():
+            maxes = row_counts[col_blocks].max(axis=1, keepdims=True)
+            row_counts = row_counts.copy()
+            row_counts[col_blocks] = np.broadcast_to(maxes, (int(col_blocks.sum()), m))
+    return row_counts, dirs
+
+
+def _block_costs(
+    row_counts: np.ndarray, config: ArchConfig, row_overhead: float = 0.0
+) -> List[int]:
+    """DVPE cycle cost of every block (intra-block mapping model)."""
+    pe = DVPE(
+        lanes=config.lanes_per_pe,
+        output_port_width=config.output_port_width,
+        alternate_unit=config.alternate_unit,
+        alternate_buffer_depth=config.alternate_buffer_depth,
+        intra_block_mapping=config.intra_block_mapping,
+    )
+    costs: List[float] = []
+    for counts in row_counts:
+        work = BlockWork(tuple(int(c) for c in counts), m=len(counts))
+        cost = float(pe.block_cost(work))
+        if row_overhead:
+            # Fractional per-row overhead (pipelined row processing of the
+            # CSR-style machines); it aggregates across blocks rather than
+            # rounding up per block.
+            cost += row_overhead * float((counts > 0).sum())
+        costs.append(cost)
+    return costs
+
+
+#: Codec lane provisioning: 16 lanes x 2 elements/cycle matches the
+#: 64 B/cycle (32 FP16 elements) off-chip load rate, so conversion keeps
+#: up with the A-operand stream by construction.
+CODEC_LANES = 16
+
+
+def _codec_visible_and_elements(
+    workload: GEMMWorkload,
+    config: ArchConfig,
+    dirs: np.ndarray,
+    costs: List[int],
+    overlap_cycles: float,
+) -> Tuple[int, int]:
+    """Visible conversion cycles and converted element count.
+
+    Each independent-dimension block converts *once*, as its payload
+    streams in from memory; the codec's aggregate throughput matches the
+    memory load rate, so conversion hides behind the longer of the
+    A-tensor load and the compute window, and only a throughput
+    shortfall (rare) plus the last block's merge beat is exposed
+    (Fig. 14: ~3.57% average visible overhead).
+    """
+    if not config.has_codec or workload.tbs is None:
+        return 0, 0
+    m = workload.m
+    sparse = workload.sparse_values
+    blocks = split_into_blocks(sparse, m)
+    flat_blocks = blocks.reshape(-1, m, m)
+    codec = CodecUnit(lanes=m)
+    conversion_cycles = 0
+    converted = 0
+    elements = 0
+    for i, direction in enumerate(dirs):
+        if direction != Direction.COL.value:
+            continue
+        stats = codec.process_block(flat_blocks[i], Direction.COL, pe_cycles=costs[i])
+        conversion_cycles += stats.conversion_cycles
+        converted += stats.converted_blocks
+        elements += stats.elements
+    parallel_conversion = conversion_cycles / CODEC_LANES
+    visible = int(math.ceil(max(0.0, parallel_conversion - overlap_cycles)))
+    if converted:
+        visible += 2  # the final merge beat of the last converted block
+    return visible, elements
+
+
+def _memory_cycles_and_bytes(
+    workload: GEMMWorkload,
+    config: ArchConfig,
+    dram: DRAMModel,
+    weight_bits: int = 16,
+) -> Tuple[int, float, Dict[str, float]]:
+    """DRAM cycles and traffic for the A, B and D tensors.
+
+    ``weight_bits`` < 16 models quantized weights (Fig. 15(b)): the A
+    value payload shrinks proportionally while indices/metadata and the
+    activation operands stay FP16.
+    """
+    if config.storage_format == "sdc":
+        # Hardware SDC (VEGETA/STC row groups) aligns within M-row groups
+        # rather than the whole matrix (see SDCFormat docstring).
+        fmt = SDCFormat(group_rows=workload.m)
+    else:
+        fmt = _FORMATS[config.storage_format]()
+    encoded = fmt.encode(
+        workload.sparse_values,
+        tbs=workload.tbs if config.storage_format == "ddc" else None,
+        block_size=workload.m,
+    )
+    report = traffic_report(encoded, burst_bytes=config.burst_bytes, m=workload.m)
+    a_res = dram.transfer_report(report)
+    if weight_bits != 16:
+        if not 2 <= weight_bits <= 16:
+            raise ValueError(f"weight_bits must be in [2, 16], got {weight_bits}")
+        # Values shrink; indices and the Info table stay as-is.
+        quant_factor = (
+            encoded.value_bytes * (weight_bits / 16.0) + encoded.index_bytes + encoded.meta_bytes
+        ) / max(1, encoded.total_bytes)
+        a_res = dram.transfer(
+            a_res.fetched_bytes * quant_factor,
+            num_bursts=report.num_bursts,
+            contiguous=report.num_segments <= max(1, report.num_bursts // 8),
+        )
+
+    rows, cols = workload.shape
+    k = workload.b_cols
+    # B re-streams once per A row-tile; the tile height is what half the
+    # on-chip buffer can hold of the encoded A operand.
+    buffer_bytes = config.onchip_buffer_kb * 1024
+    a_bytes_per_row = max(1.0, encoded.total_bytes / rows)
+    tile_rows = max(workload.m, min(rows, int((buffer_bytes / 2) / a_bytes_per_row)))
+    b_reloads = -(-rows // tile_rows)
+    b_bytes = cols * k * VALUE_BYTES * b_reloads
+    d_bytes = rows * k * VALUE_BYTES
+    b_res = dram.transfer(b_bytes, num_bursts=max(1, int(b_bytes // config.burst_bytes)), contiguous=True)
+    d_res = dram.transfer(d_bytes, num_bursts=max(1, int(d_bytes // config.burst_bytes)), contiguous=True)
+
+    cycles = a_res.cycles + b_res.cycles + d_res.cycles
+    total_bytes = a_res.fetched_bytes + b_bytes + d_bytes
+    detail = {
+        "a_bytes": float(a_res.fetched_bytes),
+        "b_bytes": float(b_bytes),
+        "d_bytes": float(d_bytes),
+        "a_cycles": float(a_res.cycles),
+        "bandwidth_utilization": report.bandwidth_utilization,
+    }
+    return cycles, total_bytes, detail
+
+
+def simulate(
+    config: ArchConfig,
+    workload: GEMMWorkload,
+    energy_params: Optional[EnergyParams] = None,
+    row_overhead_cycles: float = 0.0,
+    weight_bits: int = 16,
+) -> SimResult:
+    """Execute one sparse GEMM on one architecture.
+
+    ``row_overhead_cycles`` models per-non-empty-row processing overhead
+    of CSR-style machines (used by the SGCN baseline);
+    ``weight_bits`` < 16 models quantized weights (Fig. 15(b)).
+    """
+    params = energy_params or EnergyParams()
+    row_counts, dirs = block_segments(workload, config)
+    costs = _block_costs(row_counts, config, row_overhead=row_overhead_cycles)
+
+    # Small layers cannot fill the PE array with blocks alone; replicate
+    # tasks across B-column tiles so spatial parallelism is preserved.
+    n_blocks = len(costs)
+    k = workload.b_cols
+    replication = 1
+    if n_blocks < 2 * config.num_pes and k > 1:
+        replication = min(k, max(1, math.ceil(2 * config.num_pes / max(1, n_blocks))))
+    task_costs = costs * replication
+    column_passes = k / replication
+
+    if config.inter_block_scheduling:
+        sched = schedule_sparsity_aware(task_costs, config.num_pes, window=config.scheduler_window)
+    else:
+        sched = schedule_direct(task_costs, config.num_pes)
+    compute_cycles = int(math.ceil(sched.makespan * column_passes))
+
+    dram = DRAMModel(
+        bandwidth_gbs=config.dram_bandwidth_gbs,
+        frequency_ghz=config.frequency_ghz,
+        burst_bytes=config.burst_bytes,
+        byte_pj=params.dram_byte_pj,
+    )
+    memory_cycles, dram_bytes, mem_detail = _memory_cycles_and_bytes(
+        workload, config, dram, weight_bits=weight_bits
+    )
+
+    codec_visible, codec_elements = _codec_visible_and_elements(
+        workload,
+        config,
+        dirs,
+        costs,
+        overlap_cycles=max(mem_detail["a_cycles"], float(compute_cycles)),
+    )
+
+    total_cycles = max(compute_cycles, memory_cycles) + codec_visible + PIPELINE_FILL_CYCLES
+
+    # --- energy ---
+    if config.storage_format == "dense":
+        macs = workload.dense_macs
+    else:
+        macs = int(row_counts.sum()) * k  # padded slots are real work too
+    mbd_elements = workload.nnz * k if config.has_mbd else 0
+    sram_bytes = 2.0 * dram_bytes  # buffer fill + drain
+    energy = EnergyModel(config, params).report(
+        cycles=total_cycles,
+        macs=macs,
+        dram_bytes=dram_bytes,
+        sram_bytes=sram_bytes,
+        codec_elements=codec_elements,
+        mbd_elements=mbd_elements,
+    )
+
+    peak = config.peak_macs_per_cycle
+    useful_macs = workload.macs if config.storage_format != "dense" else workload.dense_macs
+    # Computation utilization is measured over the PE array's busy window
+    # (the Sec. VI / Fig. 16(b) metric), not diluted by memory stalls.
+    compute_util = useful_macs / (compute_cycles * peak) if compute_cycles else 1.0
+    breakdown = {
+        "compute": float(compute_cycles),
+        "memory": float(memory_cycles),
+        "codec_visible": float(codec_visible),
+        "pipeline_fill": float(PIPELINE_FILL_CYCLES),
+        **mem_detail,
+    }
+    return SimResult(
+        arch=config.name,
+        workload=workload.name,
+        cycles=total_cycles,
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+        codec_visible_cycles=codec_visible,
+        macs=macs,
+        dram_bytes=dram_bytes,
+        energy=energy,
+        compute_utilization=min(1.0, compute_util),
+        bandwidth_utilization=mem_detail["bandwidth_utilization"],
+        frequency_ghz=config.frequency_ghz,
+        breakdown=breakdown,
+    )

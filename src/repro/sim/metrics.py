@@ -1,0 +1,122 @@
+"""Simulation results and derived metrics (speedup, EDP, utilization)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..hw.energy import EnergyReport
+
+__all__ = ["SimResult", "speedup", "normalized_edp", "aggregate"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one workload on one architecture."""
+
+    arch: str
+    workload: str
+    cycles: int
+    compute_cycles: int
+    memory_cycles: int
+    codec_visible_cycles: int
+    macs: int
+    dram_bytes: float
+    energy: EnergyReport
+    compute_utilization: float
+    bandwidth_utilization: float
+    frequency_ghz: float = 1.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def time_s(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def energy_j(self) -> float:
+        return self.energy.total_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-Delay Product (J*s) -- the paper's headline metric."""
+        return self.energy_j * self.time_s
+
+    def scaled(self, repeats: int) -> "SimResult":
+        """The same layer executed ``repeats`` times back-to-back."""
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        clone = EnergyReport(cycles=self.energy.cycles * repeats, frequency_ghz=self.frequency_ghz)
+        for comp, pj in self.energy.components.items():
+            clone.add(comp, pj * repeats)
+        return SimResult(
+            arch=self.arch,
+            workload=self.workload,
+            cycles=self.cycles * repeats,
+            compute_cycles=self.compute_cycles * repeats,
+            memory_cycles=self.memory_cycles * repeats,
+            codec_visible_cycles=self.codec_visible_cycles * repeats,
+            macs=self.macs * repeats,
+            dram_bytes=self.dram_bytes * repeats,
+            energy=clone,
+            compute_utilization=self.compute_utilization,
+            bandwidth_utilization=self.bandwidth_utilization,
+            frequency_ghz=self.frequency_ghz,
+            breakdown={k: v * repeats for k, v in self.breakdown.items()},
+        )
+
+
+def speedup(result: SimResult, baseline: SimResult) -> float:
+    """How much faster ``result`` is than ``baseline`` (>1 = faster)."""
+    if result.time_s <= 0:
+        return float("inf")
+    return baseline.time_s / result.time_s
+
+
+def normalized_edp(result: SimResult, baseline: SimResult) -> float:
+    """EDP of ``result`` relative to ``baseline`` (<1 = better)."""
+    if baseline.edp <= 0:
+        return float("inf")
+    return result.edp / baseline.edp
+
+
+def aggregate(results: List[SimResult], repeats: Optional[List[int]] = None) -> SimResult:
+    """Sum per-layer results into an end-to-end result (Fig. 13).
+
+    Layers run back-to-back on one device, so cycles/energy add; the
+    utilizations become work-weighted averages.
+    """
+    if not results:
+        raise ValueError("nothing to aggregate")
+    if repeats is None:
+        repeats = [1] * len(results)
+    if len(repeats) != len(results):
+        raise ValueError("repeats must align with results")
+    scaled = [r.scaled(n) for r, n in zip(results, repeats)]
+    total_cycles = sum(r.cycles for r in scaled)
+    energy = EnergyReport(cycles=total_cycles, frequency_ghz=scaled[0].frequency_ghz)
+    for r in scaled:
+        for comp, pj in r.energy.components.items():
+            energy.add(comp, pj)
+    total_macs = sum(r.macs for r in scaled)
+    breakdown: Dict[str, float] = {}
+    for r in scaled:
+        for k, v in r.breakdown.items():
+            breakdown[k] = breakdown.get(k, 0.0) + v
+    weight = lambda attr: (
+        sum(getattr(r, attr) * r.cycles for r in scaled) / total_cycles if total_cycles else 1.0
+    )
+    return SimResult(
+        arch=scaled[0].arch,
+        workload="+".join(dict.fromkeys(r.workload for r in scaled)),
+        cycles=total_cycles,
+        compute_cycles=sum(r.compute_cycles for r in scaled),
+        memory_cycles=sum(r.memory_cycles for r in scaled),
+        codec_visible_cycles=sum(r.codec_visible_cycles for r in scaled),
+        macs=total_macs,
+        dram_bytes=sum(r.dram_bytes for r in scaled),
+        energy=energy,
+        compute_utilization=weight("compute_utilization"),
+        bandwidth_utilization=weight("bandwidth_utilization"),
+        frequency_ghz=scaled[0].frequency_ghz,
+        breakdown=breakdown,
+    )

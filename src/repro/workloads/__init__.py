@@ -1,0 +1,30 @@
+"""Workloads: layer GEMM shapes, synthetic weights and model bundles."""
+
+from .from_model import workload_from_layer, workloads_from_model
+from .generator import GEMMWorkload, build_workload, synthetic_weights
+from .layers import (
+    MODEL_LAYERS,
+    LayerSpec,
+    bert_layers,
+    opt_6_7b_layers,
+    resnet18_layers,
+    resnet50_layers,
+)
+from .models import ISO_ACCURACY_SPARSITY, ModelWorkload, build_model_workload
+
+__all__ = [
+    "GEMMWorkload",
+    "ISO_ACCURACY_SPARSITY",
+    "LayerSpec",
+    "MODEL_LAYERS",
+    "ModelWorkload",
+    "bert_layers",
+    "build_model_workload",
+    "build_workload",
+    "opt_6_7b_layers",
+    "resnet18_layers",
+    "resnet50_layers",
+    "synthetic_weights",
+    "workload_from_layer",
+    "workloads_from_model",
+]

@@ -1,0 +1,101 @@
+"""Bridge from trained numpy models to simulator workloads.
+
+The accuracy experiments (``repro.nn``) and the hardware experiments
+(``repro.sim``) meet here: take a *trained, masked* model, lower each
+prunable layer to its GEMM, attach the layer's actual mask (re-deriving
+TBS block metadata for TBS-trained models), and hand the result to the
+cycle simulator.  This is the full paper pipeline -- train with a
+pattern, then measure that very model's latency/energy on the
+accelerator -- rather than simulating synthetic masks of the same
+statistics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.patterns import PatternFamily
+from ..core.sparsify import TBSResult, tbs_sparsify
+from ..nn.layers import Conv2d, Linear, Module
+from ..nn.models import prunable_layers
+from .generator import GEMMWorkload
+
+__all__ = ["workload_from_layer", "workloads_from_model"]
+
+
+def _tbs_metadata_from_mask(values: np.ndarray, mask: np.ndarray, m: int) -> TBSResult:
+    """Recover per-block (N, direction) metadata from a TBS-trained mask.
+
+    The mask was produced by Algorithm 1 on the (then-current) weights;
+    re-running the direction/N recovery on the mask itself (using it as
+    both scores and unstructured reference) reproduces the block
+    metadata exactly, because a valid TBS mask is its own fixed point.
+    """
+    return tbs_sparsify(mask.astype(np.float64), m=m, sparsity=0.0, us_mask=mask)
+
+
+def workload_from_layer(
+    layer,
+    b_cols: int,
+    family: PatternFamily,
+    m: int = 8,
+    name: Optional[str] = None,
+) -> GEMMWorkload:
+    """Lower one trained maskable layer to a simulator workload.
+
+    ``b_cols`` is the GEMM's independent dimension of the activation
+    operand: the token/batch count for Linear layers, the output pixel
+    count for convolutions.
+    """
+    if not isinstance(layer, (Linear, Conv2d)):
+        raise TypeError(f"expected a maskable layer, got {type(layer).__name__}")
+    if b_cols < 1:
+        raise ValueError("b_cols must be positive")
+    values = layer.weight_matrix().copy()
+    mask = layer.mask if layer.mask is not None else np.ones(values.shape, dtype=bool)
+    tbs = None
+    if family is PatternFamily.TBS and layer.mask is not None:
+        tbs = _tbs_metadata_from_mask(values, mask, m)
+    return GEMMWorkload(
+        name=name or f"{type(layer).__name__}({values.shape[0]}x{values.shape[1]})",
+        values=values,
+        mask=mask.copy(),
+        b_cols=b_cols,
+        m=m,
+        family=family,
+        tbs=tbs,
+    )
+
+
+def workloads_from_model(
+    model: Module,
+    family: PatternFamily,
+    batch: int = 32,
+    spatial: Optional[int] = None,
+    m: int = 8,
+) -> List[GEMMWorkload]:
+    """Lower every prunable layer of a trained model.
+
+    ``batch`` sets the Linear-layer GEMM width; ``spatial`` (output
+    pixels per image) scales convolution widths -- when omitted it is
+    estimated from each conv's most recent forward cache, falling back
+    to ``batch``.
+    """
+    workloads: List[GEMMWorkload] = []
+    for i, layer in enumerate(prunable_layers(model)):
+        if isinstance(layer, Conv2d):
+            if spatial is not None:
+                b_cols = batch * spatial
+            elif getattr(layer, "_cache", None) is not None:
+                cols = layer._cache[1]
+                b_cols = max(1, cols.shape[1] * cols.shape[2]) * batch
+            else:
+                b_cols = batch
+        else:
+            b_cols = batch
+        workloads.append(
+            workload_from_layer(layer, b_cols, family, m=m, name=f"layer{i}")
+        )
+    return workloads

@@ -1,0 +1,70 @@
+"""Tests for Pareto utilities and table rendering."""
+
+import pytest
+
+from repro.analysis.pareto import ParetoPoint, dominates, hypervolume_2d, pareto_frontier
+from repro.analysis.tables import render_dict_table, render_table
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        a = ParetoPoint(cost=1.0, quality=0.9)
+        b = ParetoPoint(cost=2.0, quality=0.8)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = ParetoPoint(1.0, 0.9)
+        b = ParetoPoint(1.0, 0.9)
+        assert not dominates(a, b)
+
+    def test_tradeoff_points_incomparable(self):
+        a = ParetoPoint(1.0, 0.7)
+        b = ParetoPoint(2.0, 0.9)
+        assert not dominates(a, b) and not dominates(b, a)
+
+
+class TestFrontier:
+    def test_filters_dominated(self):
+        pts = [ParetoPoint(1, 0.9, "a"), ParetoPoint(2, 0.8, "b"), ParetoPoint(0.5, 0.95, "c")]
+        frontier = pareto_frontier(pts)
+        assert [p.label for p in frontier] == ["c"]
+
+    def test_keeps_tradeoffs_sorted(self):
+        pts = [ParetoPoint(2, 0.95, "hi"), ParetoPoint(1, 0.8, "lo")]
+        frontier = pareto_frontier(pts)
+        assert [p.label for p in frontier] == ["lo", "hi"]
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        hv = hypervolume_2d([ParetoPoint(1.0, 0.5)], ref_cost=2.0)
+        assert hv == pytest.approx(0.5)
+
+    def test_better_frontier_larger(self):
+        good = [ParetoPoint(0.5, 0.9)]
+        bad = [ParetoPoint(1.5, 0.7)]
+        assert hypervolume_2d(good, 2.0) > hypervolume_2d(bad, 2.0)
+
+    def test_out_of_reference_excluded(self):
+        assert hypervolume_2d([ParetoPoint(3.0, 0.9)], ref_cost=2.0) == 0.0
+
+    def test_staircase(self):
+        pts = [ParetoPoint(1.0, 0.9), ParetoPoint(0.5, 0.6)]
+        hv = hypervolume_2d(pts, ref_cost=2.0)
+        assert hv == pytest.approx((2.0 - 0.5) * 0.6 + (2.0 - 1.0) * 0.3)
+
+
+class TestTables:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [[1, 2.34567], ["x", "y"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.346" in out
+
+    def test_render_dict_table(self):
+        out = render_dict_table({"r1": {"c1": 1.0}, "r2": {"c2": 2.0}}, key_header="row")
+        assert "r1" in out and "c2" in out

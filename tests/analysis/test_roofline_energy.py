@@ -1,0 +1,89 @@
+"""Tests for roofline analysis and energy breakdowns."""
+
+import pytest
+
+from repro.analysis.energy_breakdown import compare_energy_breakdown, energy_fractions
+from repro.analysis.roofline import (
+    RooflinePoint,
+    attainable_macs_per_cycle,
+    ridge_intensity,
+    roofline_point,
+)
+from repro.core.patterns import PatternFamily
+from repro.hw.config import tb_stc, tensor_core
+from repro.sim.baselines import simulate_arch
+from repro.sim.engine import simulate
+from repro.workloads.generator import build_workload
+from repro.workloads.layers import LayerSpec, bert_layers
+
+
+def _run(config, sparsity=0.75, family=PatternFamily.TBS, seed=0):
+    layer = LayerSpec("probe", 512, 256, 64)
+    workload = build_workload(layer, family, sparsity, seed=seed)
+    return workload, simulate(config, workload)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        # 1024 MACs/cycle over 64 B/cycle -> ridge at 16 MACs/byte.
+        assert ridge_intensity(tb_stc()) == pytest.approx(16.0)
+
+    def test_attainable_clamps_at_peak(self):
+        cfg = tb_stc()
+        assert attainable_macs_per_cycle(1000.0, cfg) == cfg.peak_macs_per_cycle
+        assert attainable_macs_per_cycle(1.0, cfg) == pytest.approx(64.0)
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ValueError):
+            attainable_macs_per_cycle(-1.0, tb_stc())
+
+    def test_point_consistency(self):
+        cfg = tb_stc()
+        workload, result = _run(cfg)
+        point = roofline_point(workload, cfg, result)
+        assert point.arch == "TB-STC"
+        assert 0 < point.roofline_efficiency <= 1.0
+        assert point.achieved_macs_per_cycle <= cfg.peak_macs_per_cycle
+
+    def test_sparsity_lowers_intensity(self):
+        """Fewer MACs over similar activation bytes -> lower intensity
+        (the Fig. 15(c) mechanism)."""
+        cfg = tb_stc()
+        wl_lo, res_lo = _run(cfg, sparsity=0.5, seed=1)
+        wl_hi, res_hi = _run(cfg, sparsity=0.875, seed=1)
+        p_lo = roofline_point(wl_lo, cfg, res_lo)
+        p_hi = roofline_point(wl_hi, cfg, res_hi)
+        assert p_hi.intensity < p_lo.intensity
+
+    def test_bandwidth_moves_ridge(self):
+        assert ridge_intensity(tb_stc(dram_bandwidth_gbs=256.0)) == pytest.approx(4.0)
+
+    def test_memory_bound_flag(self):
+        point = RooflinePoint("w", "a", intensity=1.0, attainable_macs_per_cycle=64,
+                              peak_macs_per_cycle=1024, achieved_macs_per_cycle=50)
+        assert point.memory_bound
+
+
+class TestEnergyBreakdown:
+    def test_fractions_sum_to_one(self):
+        _, result = _run(tb_stc())
+        fractions = energy_fractions(result)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_components_present(self):
+        _, result = _run(tb_stc())
+        fractions = energy_fractions(result)
+        assert {"compute", "dram", "sram", "static"} <= set(fractions)
+
+    def test_dense_tc_compute_heavy(self):
+        _, result = _run(tensor_core(), family=PatternFamily.US, sparsity=0.0)
+        fractions = energy_fractions(result)
+        assert fractions["compute"] > 0.3
+
+    def test_compare_across_archs(self):
+        table = compare_energy_breakdown(bert_layers()[2], scale=4)
+        assert set(table) == {"TC", "STC", "VEGETA", "HighLight", "RM-STC", "TB-STC"}
+        # The RM-STC compute share exceeds TB-STC's (Fig. 6(d) story).
+        assert table["RM-STC"]["compute"] > table["TB-STC"]["compute"]
+        # ...and its total energy is higher.
+        assert table["RM-STC"]["total_uJ"] > table["TB-STC"]["total_uJ"]

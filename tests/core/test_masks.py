@@ -1,0 +1,191 @@
+"""Unit tests for repro.core.masks -- every pattern generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.masks import (
+    global_threshold,
+    highlight_mask,
+    make_mask,
+    tile_mask,
+    topn_along_last,
+    unstructured_mask,
+    vegeta_mask,
+)
+from repro.core.patterns import NMConfig, PatternFamily, PatternSpec
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestUnstructured:
+    def test_exact_sparsity(self):
+        mask = unstructured_mask(_rand((32, 32)), 0.75)
+        assert mask.sum() == 32 * 32 // 4
+
+    def test_keeps_largest(self):
+        scores = np.array([[1.0, 5.0, 2.0, 4.0]])
+        mask = unstructured_mask(scores, 0.5)
+        np.testing.assert_array_equal(mask, [[False, True, False, True]])
+
+    def test_uses_magnitude(self):
+        scores = np.array([[-9.0, 1.0, 2.0, 3.0]])
+        mask = unstructured_mask(scores, 0.75)
+        np.testing.assert_array_equal(mask, [[True, False, False, False]])
+
+    def test_sparsity_zero_keeps_all(self):
+        assert unstructured_mask(_rand((8, 8)), 0.0).all()
+
+    def test_sparsity_one_prunes_all(self):
+        assert not unstructured_mask(_rand((8, 8)), 1.0).any()
+
+    def test_rejects_bad_sparsity(self):
+        with pytest.raises(ValueError):
+            unstructured_mask(_rand((4, 4)), 1.2)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            unstructured_mask(np.ones(8), 0.5)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_sparsity_within_one_element(self, sparsity):
+        scores = _rand((16, 16), seed=3)
+        mask = unstructured_mask(scores, sparsity)
+        expected_kept = 256 - round(sparsity * 256)
+        assert mask.sum() == expected_kept
+
+
+class TestGlobalThreshold:
+    def test_threshold_separates(self):
+        scores = _rand((32, 32), seed=1)
+        thr = global_threshold(scores, 0.75)
+        frac_below = (np.abs(scores) <= thr).mean()
+        assert abs(frac_below - 0.75) < 0.01
+
+    def test_zero_sparsity(self):
+        assert global_threshold(_rand((4, 4)), 0.0) == 0.0
+
+    def test_full_sparsity_above_max(self):
+        scores = _rand((4, 4))
+        assert global_threshold(scores, 1.0) > np.abs(scores).max()
+
+
+class TestTopN:
+    def test_scalar_n(self):
+        scores = np.array([[3.0, 1.0, 4.0, 1.5]])
+        mask = topn_along_last(scores, 2)
+        np.testing.assert_array_equal(mask, [[True, False, True, False]])
+
+    def test_per_row_n(self):
+        # N broadcasts over the leading axes: one N per row here.
+        scores = np.ones((2, 4))
+        mask = topn_along_last(scores, np.array([1, 3]))
+        assert mask[0].sum() == 1 and mask[1].sum() == 3
+
+    def test_n_zero(self):
+        assert not topn_along_last(np.ones((3, 4)), 0).any()
+
+    def test_n_full(self):
+        assert topn_along_last(np.ones((3, 4)), 4).all()
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            topn_along_last(np.ones((2, 4)), 5)
+
+    def test_stable_on_ties(self):
+        # Equal scores: earlier elements win (stable sort).
+        mask = topn_along_last(np.zeros((1, 4)), 2)
+        np.testing.assert_array_equal(mask, [[True, True, False, False]])
+
+
+class TestTileMask:
+    def test_nm_constraint_holds(self):
+        scores = _rand((16, 32), seed=2)
+        mask = tile_mask(scores, NMConfig(2, 4))
+        groups = mask.reshape(16, 8, 4)
+        assert (groups.sum(axis=-1) <= 2).all()
+        assert (groups.sum(axis=-1) == 2).all()  # dense scores fill every group
+
+    def test_4_8_sparsity_is_half(self):
+        mask = tile_mask(_rand((8, 64)), NMConfig(4, 8))
+        assert mask.mean() == pytest.approx(0.5)
+
+    def test_ragged_columns(self):
+        scores = _rand((4, 10), seed=5)
+        mask = tile_mask(scores, NMConfig(2, 4))
+        assert mask.shape == (4, 10)
+        # Last partial group has only 2 real elements; both may be kept.
+        assert mask[:, 8:].sum(axis=1).max() <= 2
+
+    def test_keeps_top_magnitudes_per_tile(self):
+        scores = np.array([[1.0, -8.0, 2.0, -9.0, 1.0, 2.0, 3.0, 4.0]])
+        mask = tile_mask(scores, NMConfig(2, 4))
+        np.testing.assert_array_equal(mask, [[False, True, False, True, False, False, True, True]])
+
+
+class TestVegetaMask:
+    def test_rowwise_nm_constraint(self):
+        scores = _rand((16, 64), seed=7)
+        mask = vegeta_mask(scores, m=8, sparsity=0.5)
+        groups = mask.reshape(16, 8, 8)
+        per_row_n = groups.sum(axis=-1)
+        # Every group in one row keeps the same candidate N.
+        for r in range(16):
+            assert len(set(per_row_n[r])) == 1
+            assert 0 <= per_row_n[r][0] <= 8
+
+    def test_overall_sparsity_near_target(self):
+        scores = _rand((64, 64), seed=8)
+        mask = vegeta_mask(scores, m=8, sparsity=0.75)
+        assert abs((1 - mask.mean()) - 0.75) < 0.1
+
+    def test_adapts_to_row_importance(self):
+        # One loud row, seven quiet rows: the loud row keeps more.
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(8, 64)) * 0.01
+        scores[0] = rng.normal(size=64) * 10
+        mask = vegeta_mask(scores, m=8, sparsity=0.5)
+        assert mask[0].sum() > mask[1:].sum(axis=1).mean()
+
+
+class TestHighlightMask:
+    def test_overall_sparsity_near_target(self):
+        scores = _rand((64, 64), seed=9)
+        mask = highlight_mask(scores, m=8, sparsity=0.5)
+        assert abs((1 - mask.mean()) - 0.5) < 0.15
+
+    def test_fine_level_nm_holds(self):
+        scores = _rand((16, 64), seed=10)
+        mask = highlight_mask(scores, m=8, sparsity=0.5)
+        groups = mask.reshape(16, 8, 8)
+        assert (groups.sum(axis=-1) <= 8).all()
+
+    def test_hierarchical_structure(self):
+        # With target sparsity high, some tiles must be entirely empty
+        # (coarse level) while kept tiles obey the fine N:M.
+        scores = _rand((32, 64), seed=11)
+        mask = highlight_mask(scores, m=8, sparsity=0.875)
+        tiles = mask.reshape(32, 8, 8).sum(axis=-1)
+        assert (tiles == 0).any()
+
+
+class TestMakeMask:
+    @pytest.mark.parametrize(
+        "family",
+        [PatternFamily.US, PatternFamily.TS, PatternFamily.RS_V, PatternFamily.RS_H, PatternFamily.TBS],
+    )
+    def test_dispatch_all_families(self, family):
+        scores = _rand((32, 32), seed=12)
+        spec = PatternSpec(family, m=8, sparsity=0.5)
+        mask = make_mask(scores, spec)
+        assert mask.shape == scores.shape
+        assert mask.dtype == bool
+        assert 0.3 < 1 - mask.mean() < 0.7  # near the target
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises((ValueError, AttributeError)):
+            make_mask(_rand((8, 8)), PatternSpec("bogus"))  # type: ignore[arg-type]

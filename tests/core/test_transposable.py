@@ -1,0 +1,126 @@
+"""Tests for strictly-transposable N:M masks (the NM-T baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.masks import unstructured_mask
+from repro.core.similarity import mask_agreement
+from repro.core.sparsify import tbs_sparsify
+from repro.core.transposable import (
+    is_transposable,
+    transposable_block_mask,
+    transposable_mask,
+    transposable_sparsify,
+)
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestIsTransposable:
+    def test_identity_block(self):
+        assert is_transposable(np.eye(8, dtype=bool), 1)
+
+    def test_dense_row_violates(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0] = True
+        assert not is_transposable(mask, 2)
+        assert is_transposable(mask, 8)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            is_transposable(np.ones(4, dtype=bool), 2)
+
+    def test_block_size_check(self):
+        with pytest.raises(ValueError):
+            is_transposable(np.ones((4, 4), dtype=bool), 2, m=8)
+
+
+class TestBlockMask:
+    def test_constraint_satisfied(self):
+        mask = transposable_block_mask(_rand((8, 8), 1), 2)
+        assert is_transposable(mask, 2)
+
+    def test_transpose_also_valid(self):
+        """The defining property: the mask works for W and W.T."""
+        mask = transposable_block_mask(_rand((8, 8), 2), 2)
+        assert is_transposable(mask.T, 2)
+
+    def test_full_and_empty(self):
+        assert transposable_block_mask(_rand((8, 8)), 0).sum() == 0
+        assert transposable_block_mask(_rand((8, 8)), 8).all()
+
+    def test_keeps_high_scores_first(self):
+        scores = np.zeros((4, 4))
+        scores[0, 0] = 10.0
+        scores[1, 1] = 9.0
+        mask = transposable_block_mask(scores, 1)
+        assert mask[0, 0] and mask[1, 1]
+
+    def test_diagonal_conflict_resolved(self):
+        # Two huge scores in the same row: only one survives at N=1,
+        # and the quota frees a different column for another row.
+        scores = np.ones((4, 4)) * 0.1
+        scores[0, 0] = 10.0
+        scores[0, 1] = 9.0
+        mask = transposable_block_mask(scores, 1)
+        assert is_transposable(mask, 1)
+        assert mask[0, 0] and not mask[0, 1]
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            transposable_block_mask(_rand((8, 8)), 9)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            transposable_block_mask(_rand((4, 8)), 2)
+
+    @given(seed=st.integers(0, 100), n=st.integers(0, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_property_both_directions(self, seed, n):
+        mask = transposable_block_mask(_rand((8, 8), seed), n)
+        assert is_transposable(mask, n)
+        assert is_transposable(mask.T, n)
+
+
+class TestMatrixMask:
+    def test_every_block_transposable(self):
+        mask = transposable_mask(_rand((32, 32), 3), n=2, m=8)
+        for br in range(4):
+            for bc in range(4):
+                block = mask[br * 8 : (br + 1) * 8, bc * 8 : (bc + 1) * 8]
+                assert is_transposable(block, 2)
+
+    def test_sparsity_close_to_ratio(self):
+        mask = transposable_mask(_rand((64, 64), 4), n=2, m=8)
+        # N=2, M=8 -> at most 25% density (quota stranding may lose a little).
+        assert 0.18 <= mask.mean() <= 0.25
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            transposable_mask(np.ones(8), 2)
+
+
+class TestSparsify:
+    def test_adaptive_n(self):
+        scores = _rand((32, 32), 5)
+        mask, block_n = transposable_sparsify(scores, m=8, sparsity=0.75)
+        assert block_n.shape == (4, 4)
+        assert set(np.unique(block_n)).issubset({0, 1, 2, 4, 8})
+
+    def test_overall_sparsity(self):
+        scores = _rand((128, 128), 6)
+        mask, _ = transposable_sparsify(scores, m=8, sparsity=0.75)
+        assert abs((1 - mask.mean()) - 0.75) < 0.1
+
+    def test_subset_of_tbs_expressiveness(self):
+        """NM-T masks are valid TBS masks; the converse is false -- so
+        TBS tracks the unstructured optimum at least as well."""
+        scores = _rand((64, 64), 7)
+        us = unstructured_mask(scores, 0.75)
+        nmt_mask, _ = transposable_sparsify(scores, m=8, sparsity=0.75)
+        tbs = tbs_sparsify(scores, m=8, sparsity=0.75)
+        assert mask_agreement(tbs.mask, us) >= mask_agreement(nmt_mask, us)

@@ -1,0 +1,52 @@
+"""Tests for the bitmap format (RM-STC's storage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import BitmapFormat, traffic_report
+
+
+class TestRoundTrip:
+    def test_random_matrix(self):
+        rng = np.random.default_rng(0)
+        sparse = rng.normal(size=(32, 32)) * (rng.random((32, 32)) < 0.3)
+        fmt = BitmapFormat()
+        np.testing.assert_allclose(fmt.decode(fmt.encode(sparse)), sparse)
+
+    def test_empty(self):
+        fmt = BitmapFormat()
+        enc = fmt.encode(np.zeros((8, 8)))
+        assert enc.nnz == 0
+        np.testing.assert_array_equal(fmt.decode(enc), np.zeros((8, 8)))
+
+    @given(seed=st.integers(0, 50), density=st.sampled_from([0.1, 0.5, 0.9]))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, seed, density):
+        rng = np.random.default_rng(seed)
+        sparse = rng.normal(size=(17, 23)) * (rng.random((17, 23)) < density)
+        fmt = BitmapFormat()
+        np.testing.assert_allclose(fmt.decode(fmt.encode(sparse)), sparse)
+
+
+class TestFootprint:
+    def test_bitmap_is_fixed_cost(self):
+        """The bitmap costs rows*cols/8 bytes regardless of sparsity."""
+        fmt = BitmapFormat()
+        rng = np.random.default_rng(1)
+        for density in (0.1, 0.9):
+            sparse = rng.normal(size=(64, 64)) * (rng.random((64, 64)) < density)
+            assert fmt.encode(sparse).meta_bytes == 64 * 64 // 8
+
+    def test_values_scale_with_nnz(self):
+        fmt = BitmapFormat()
+        sparse = np.zeros((16, 16))
+        sparse[0, :4] = 1.0
+        assert fmt.encode(sparse).value_bytes == 4 * 2
+
+    def test_streams_contiguously(self):
+        rng = np.random.default_rng(2)
+        sparse = rng.normal(size=(64, 64)) * (rng.random((64, 64)) < 0.25)
+        report = traffic_report(BitmapFormat().encode(sparse))
+        assert report.num_segments <= 2  # bitmap + values, both streamed

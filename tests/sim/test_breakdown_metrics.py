@@ -1,0 +1,76 @@
+"""Tests for cycle breakdown and derived metrics."""
+
+import pytest
+
+from repro.core.patterns import PatternFamily
+from repro.hw.config import tb_stc
+from repro.sim.breakdown import codec_overhead_fraction, cycle_breakdown
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimResult, normalized_edp, speedup
+from repro.hw.energy import EnergyReport
+from repro.workloads.generator import build_workload
+from repro.workloads.layers import LayerSpec, bert_layers
+
+
+def _result(sparsity=0.625, seed=0):
+    wl = build_workload(bert_layers()[1], PatternFamily.TBS, sparsity, seed=seed, scale=4)
+    return simulate(tb_stc(), wl)
+
+
+class TestBreakdown:
+    def test_shares_sum_to_one(self):
+        shares = cycle_breakdown(_result())
+        assert sum(shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_all_shares_nonnegative(self):
+        shares = cycle_breakdown(_result())
+        assert all(v >= 0 for v in shares.values())
+
+    def test_codec_overhead_small(self):
+        """Fig. 14: format conversion ~3.57% of execution on average."""
+        fractions = []
+        for layer in bert_layers():
+            wl = build_workload(layer, PatternFamily.TBS, 0.625, seed=0, scale=4)
+            fractions.append(codec_overhead_fraction(simulate(tb_stc(), wl)))
+        assert sum(fractions) / len(fractions) < 0.10
+
+    def test_memory_exposed_only_when_memory_bound(self):
+        result = _result()
+        shares = cycle_breakdown(result)
+        if result.compute_cycles >= result.memory_cycles:
+            assert shares["memory_exposed"] == 0.0
+        else:
+            assert shares["memory_exposed"] > 0.0
+
+
+class TestMetrics:
+    def _dummy(self, cycles, pj):
+        energy = EnergyReport(cycles=cycles, frequency_ghz=1.0)
+        energy.add("compute", pj)
+        return SimResult(
+            arch="X",
+            workload="w",
+            cycles=cycles,
+            compute_cycles=cycles,
+            memory_cycles=0,
+            codec_visible_cycles=0,
+            macs=1,
+            dram_bytes=0,
+            energy=energy,
+            compute_utilization=1.0,
+            bandwidth_utilization=1.0,
+        )
+
+    def test_speedup(self):
+        fast = self._dummy(100, 1.0)
+        slow = self._dummy(400, 1.0)
+        assert speedup(fast, slow) == pytest.approx(4.0)
+
+    def test_normalized_edp(self):
+        a = self._dummy(100, 1e6)
+        b = self._dummy(200, 2e6)  # 2x energy, 2x time -> 4x EDP
+        assert normalized_edp(a, b) == pytest.approx(0.25)
+
+    def test_edp_definition(self):
+        r = self._dummy(1_000_000, 1e12)  # 1 ms, 1 J
+        assert r.edp == pytest.approx(1e-3)

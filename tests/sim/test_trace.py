@@ -1,0 +1,81 @@
+"""Tests for schedule tracing and timeline rendering."""
+
+import pytest
+
+from repro.sim.trace import occupancy_profile, render_timeline, trace_schedule
+
+
+class TestTraceSchedule:
+    def test_aware_records_all_blocks(self):
+        costs = [4, 1, 4, 1, 2]
+        trace = trace_schedule(costs, 2, policy="aware")
+        assert len(trace.assignments) == len(costs)
+        assert {a.block for a in trace.assignments} == set(range(len(costs)))
+
+    def test_direct_records_all_blocks(self):
+        trace = trace_schedule([3, 1, 2], 2, policy="direct")
+        assert len(trace.assignments) == 3
+
+    def test_durations_match_costs(self):
+        costs = [4, 1, 4]
+        trace = trace_schedule(costs, 2, policy="aware")
+        by_block = {a.block: a for a in trace.assignments}
+        for i, cost in enumerate(costs):
+            assert by_block[i].end - by_block[i].start == cost
+
+    def test_no_pe_overlap(self):
+        """A PE never runs two blocks at once."""
+        trace = trace_schedule([3, 5, 2, 8, 1, 4, 4], 3, policy="aware")
+        per_pe = {}
+        for a in trace.assignments:
+            per_pe.setdefault(a.pe, []).append((a.start, a.end))
+        for intervals in per_pe.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2
+
+    def test_fig11_example_makespan(self):
+        """Fig. 11(a)/(b): aware scheduling roughly halves the makespan."""
+        direct = trace_schedule([4, 1, 4, 1], 2, policy="direct")
+        aware = trace_schedule([4, 1, 4, 1], 2, policy="aware")
+        assert aware.makespan == 5
+        assert direct.makespan == 8
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            trace_schedule([1], 1, policy="magic")
+
+
+class TestOccupancy:
+    def test_profile_bounded_by_pes(self):
+        trace = trace_schedule([2] * 10, 4, policy="aware")
+        assert max(occupancy_profile(trace)) <= 4
+
+    def test_profile_integrates_to_work(self):
+        costs = [3, 1, 4, 1, 5]
+        trace = trace_schedule(costs, 2, policy="aware")
+        assert sum(occupancy_profile(trace)) == sum(costs)
+
+    def test_rejects_bad_resolution(self):
+        trace = trace_schedule([1], 1)
+        with pytest.raises(ValueError):
+            occupancy_profile(trace, resolution=0)
+
+
+class TestRender:
+    def test_contains_all_pe_rows(self):
+        trace = trace_schedule([2, 3, 1], 3)
+        out = render_timeline(trace)
+        assert out.count("PE") == 3
+        assert "utilization" in out
+
+    def test_idle_shown_as_dots(self):
+        trace = trace_schedule([4, 1], 2, policy="direct")
+        out = render_timeline(trace)
+        assert "." in out
+
+    def test_compression_respects_width(self):
+        trace = trace_schedule([100] * 4, 2)
+        out = render_timeline(trace, width=20)
+        longest = max(len(line) for line in out.splitlines()[1:])
+        assert longest <= 20 + 8  # row label + bars

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report", "table3"])
+        assert args.experiment == "table3"
+        assert args.seeds == 1
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "table9"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestReport:
+    def test_table3(self, capsys):
+        assert main(["report", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "DVPE Array" in out and "1.47" in out
+
+    def test_fig4(self, capsys):
+        assert main(["report", "fig4"]) == 0
+        assert "similarity_vs_US" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["report", "fig6"]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_fig17(self, capsys):
+        assert main(["report", "fig17"]) == 0
+        assert "col" in capsys.readouterr().out
+
+
+class TestPrune:
+    def test_prunes_and_saves(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        np.save(path, np.random.default_rng(0).normal(size=(32, 32)))
+        assert main(["prune", str(path), "--pattern", "TBS", "--sparsity", "0.75"]) == 0
+        mask = np.load(tmp_path / "w.mask.npy")
+        assert mask.dtype == bool
+        assert abs((1 - mask.mean()) - 0.75) < 0.1
+
+    def test_other_patterns(self, tmp_path):
+        path = tmp_path / "w.npy"
+        np.save(path, np.random.default_rng(1).normal(size=(16, 16)))
+        for pattern in ("US", "TS", "RS_V"):
+            assert main(["prune", str(path), "--pattern", pattern]) == 0
+
+    def test_rejects_non_2d(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        np.save(path, np.ones(8))
+        assert main(["prune", str(path)]) == 2
+
+    def test_custom_output_path(self, tmp_path):
+        path = tmp_path / "w.npy"
+        out = tmp_path / "custom.npy"
+        np.save(path, np.random.default_rng(2).normal(size=(16, 16)))
+        assert main(["prune", str(path), "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestSimulate:
+    def test_basic(self, capsys):
+        rc = main(["simulate", "--rows", "128", "--cols", "128", "--b-cols", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "EDP" in out
+
+    def test_all_archs(self, capsys):
+        for arch in ("TC", "STC", "VEGETA", "RM-STC", "TB-STC"):
+            rc = main([
+                "simulate", "--rows", "64", "--cols", "64", "--b-cols", "16", "--arch", arch,
+            ])
+            assert rc == 0
+
+    def test_unknown_arch(self, capsys):
+        rc = main(["simulate", "--rows", "64", "--cols", "64", "--b-cols", "16", "--arch", "TPU"])
+        assert rc == 2

@@ -1,0 +1,92 @@
+"""Tests for the trained-model -> simulator bridge."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import Direction, PatternFamily
+from repro.nn import apply_masks, cluster_dataset, make_mlp, train
+from repro.nn.models import prunable_layers
+from repro.sim import simulate, verify_workload
+from repro.hw.config import tb_stc
+from repro.workloads.from_model import workload_from_layer, workloads_from_model
+
+
+def _trained_sparse_model(family=PatternFamily.TBS, sparsity=0.75, seed=0):
+    data = cluster_dataset(n_samples=256, n_features=32, seed=seed)
+    model = make_mlp(32, 48, 4, depth=3, seed=seed)
+    train(model, data, family=family, sparsity=sparsity, epochs=4, seed=seed)
+    return model
+
+
+class TestWorkloadFromLayer:
+    def test_mask_carried_exactly(self):
+        model = _trained_sparse_model()
+        layer = prunable_layers(model)[0]
+        wl = workload_from_layer(layer, b_cols=16, family=PatternFamily.TBS)
+        np.testing.assert_array_equal(wl.mask, layer.mask)
+        np.testing.assert_array_equal(wl.values, layer.weight_matrix())
+
+    def test_tbs_metadata_recovered(self):
+        """Re-derived block metadata reproduces the trained mask."""
+        model = _trained_sparse_model()
+        layer = prunable_layers(model)[0]
+        wl = workload_from_layer(layer, b_cols=16, family=PatternFamily.TBS)
+        assert wl.tbs is not None
+        np.testing.assert_array_equal(wl.tbs.mask, layer.mask)
+        # Block nnz counts match the declared N (valid TBS metadata).
+        n_br, n_bc = wl.tbs.block_n.shape
+        for br in range(n_br):
+            for bc in range(n_bc):
+                block = wl.mask[br * 8 : (br + 1) * 8, bc * 8 : (bc + 1) * 8]
+                assert block.sum() == wl.tbs.block_n[br, bc] * 8
+
+    def test_unmasked_layer_is_dense(self):
+        model = make_mlp(16, 24, 4, depth=3, seed=1)
+        layer = prunable_layers(model)[0]
+        wl = workload_from_layer(layer, b_cols=8, family=PatternFamily.US)
+        assert wl.mask.all()
+
+    def test_rejects_non_maskable(self):
+        from repro.nn.layers import ReLU
+
+        with pytest.raises(TypeError):
+            workload_from_layer(ReLU(), 8, PatternFamily.US)
+
+    def test_rejects_bad_b_cols(self):
+        model = make_mlp(16, 24, 4, depth=3, seed=2)
+        with pytest.raises(ValueError):
+            workload_from_layer(prunable_layers(model)[0], 0, PatternFamily.US)
+
+
+class TestWorkloadsFromModel:
+    def test_one_per_prunable_layer(self):
+        model = _trained_sparse_model(seed=3)
+        workloads = workloads_from_model(model, PatternFamily.TBS, batch=16)
+        assert len(workloads) == len(prunable_layers(model))
+        assert all(wl.b_cols == 16 for wl in workloads)
+
+    def test_simulatable(self):
+        model = _trained_sparse_model(seed=4)
+        workloads = workloads_from_model(model, PatternFamily.TBS, batch=16)
+        for wl in workloads:
+            result = simulate(tb_stc(), wl)
+            assert result.cycles > 0
+
+    def test_functionally_exact(self):
+        """The trained masks run exactly through the datapath."""
+        model = _trained_sparse_model(seed=5)
+        for wl in workloads_from_model(model, PatternFamily.TBS, batch=8):
+            assert verify_workload(wl) < 1e-9
+
+    def test_sparser_model_runs_faster(self):
+        results = {}
+        for sparsity in (0.5, 0.875):
+            model = _trained_sparse_model(sparsity=sparsity, seed=6)
+            workloads = workloads_from_model(model, PatternFamily.TBS, batch=64)
+            results[sparsity] = sum(simulate(tb_stc(), wl).compute_cycles for wl in workloads)
+        assert results[0.875] < results[0.5]
+
+    def test_us_model_has_no_tbs_metadata(self):
+        model = _trained_sparse_model(family=PatternFamily.US, seed=7)
+        workloads = workloads_from_model(model, PatternFamily.US, batch=8)
+        assert all(wl.tbs is None for wl in workloads)
