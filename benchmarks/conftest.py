@@ -12,12 +12,36 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Time one full harness execution (no warmup repetition)."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Time one full harness execution (no warmup repetition).
+
+    Set ``REPRO_BENCH_CACHE=<dir>`` to route every experiment through
+    the fault-tolerant runner (:mod:`repro.runtime.runner`): completed
+    cells are cached on disk, so an interrupted ``pytest benchmarks/``
+    sweep resumes from where it died instead of recomputing everything.
+    Cached cells report the (fast) cache-read time.
+    """
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    if not cache_dir:
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    from repro.runtime.runner import ExperimentRunner
+
+    runner = ExperimentRunner(cache_dir=cache_dir, retries=0, resume=True)
+    name = getattr(fn, "__name__", "bench")
+
+    def cached(*a, **kw):
+        cell = runner.run(name, lambda **_: fn(*a, **kw), key=repr((a, sorted(kw.items()))))
+        if not cell.ok:
+            raise RuntimeError(cell.error)
+        return cell.value
+
+    return benchmark.pedantic(cached, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
 @pytest.fixture

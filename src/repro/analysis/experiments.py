@@ -38,6 +38,8 @@ from .pareto import ParetoPoint, pareto_frontier
 
 __all__ = [
     "ACCURACY_FAMILIES",
+    "EXPERIMENTS",
+    "run_experiment",
     "snapshot_params",
     "restore_params",
     "capture_layer_inputs",
@@ -69,6 +71,80 @@ ACCURACY_FAMILIES = [
     PatternFamily.RS_H,
     PatternFamily.TBS,
 ]
+
+#: Canonical experiment-cell names, one per paper table/figure.  This is
+#: the registry the fault-tolerant runner and the CLI dispatch on.
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig4",
+    "fig6",
+    "fig7",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+)
+
+
+def run_experiment(
+    name: str,
+    seeds: Sequence[int] = (0,),
+    epochs: int = 8,
+    scale: int = 4,
+):
+    """Compute the raw data behind one paper table/figure by name.
+
+    One entry point per :data:`EXPERIMENTS` cell, with the three size
+    knobs every driver understands.  Returns whatever the underlying
+    driver returns (plain dicts/lists, picklable), so the fault-tolerant
+    runner (:class:`repro.runtime.runner.ExperimentRunner`) can cache
+    cells on disk and ``repro report all`` can resume mid-sweep.
+    Rendering stays in :mod:`repro.cli`.
+    """
+    seeds = tuple(seeds)
+    if name == "table1":
+        return run_table1(seeds=seeds, epochs=epochs)
+    if name == "table2":
+        return run_table2(seeds=seeds, epochs=epochs)
+    if name == "table3":
+        return run_table3()
+    if name == "fig1":
+        return run_fig1_pareto(seeds=seeds, epochs=epochs, scale=scale)
+    if name == "fig4":
+        return run_fig4_maskspace()
+    if name == "fig6":
+        return run_fig6_datapath_power()
+    if name == "fig7":
+        return run_fig7_bandwidth()
+    if name == "fig12":
+        return run_fig12_layerwise(scale=scale)
+    if name == "fig13":
+        return run_fig13_end2end(scale=max(scale, 8))
+    if name == "fig14":
+        return run_fig14_breakdown(scale=scale)
+    if name == "fig15":
+        return {
+            "block_size": run_fig15_block_size(scale=scale, epochs=epochs),
+            "quantization": run_fig15_quantization(epochs=epochs, scale=scale),
+            "bandwidth": run_fig15_bandwidth(scale=scale),
+            "sparsity_sweep": run_fig15_sparsity_sweep(scale=scale),
+        }
+    if name == "fig16":
+        return {
+            "codec": run_fig16_codec_ablation(scale=scale),
+            "scheduling": run_fig16_scheduling_ablation(scale=scale),
+        }
+    if name == "fig17":
+        return run_fig17_distribution()
+    if name == "fig18":
+        return run_fig18_convergence(epochs=epochs)
+    raise ValueError(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
 
 
 # ---------------------------------------------------------------------------

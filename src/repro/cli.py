@@ -4,10 +4,17 @@ Three commands:
 
 * ``report`` -- run one (or all) of the paper's experiments and print
   its table(s); experiment names follow the paper (``table1`` ...
-  ``fig18``).
+  ``fig18``).  Experiments run through the fault-tolerant runner
+  (:mod:`repro.runtime.runner`): a crash in one figure no longer kills
+  the sweep, and with ``--checkpoint-dir``/``--resume`` completed cells
+  are cached on disk and replayed instead of recomputed.
 * ``prune`` -- prune a ``.npy`` weight matrix with any pattern family
   and write the boolean mask next to it.
 * ``simulate`` -- simulate one GEMM layer on a chosen architecture.
+
+``--strict-checks`` (all commands) turns on the runtime invariant layer
+(:mod:`repro.runtime.checks`) in ``strict`` mode: invalid masks or
+storage-format round-trip failures abort instead of propagating silently.
 """
 
 from __future__ import annotations
@@ -20,8 +27,9 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-#: experiment name -> (driver factory, printer); resolved lazily so the
-#: CLI imports fast.
+#: Experiment names, duplicated from ``repro.analysis.experiments
+#: .EXPERIMENTS`` so building the parser never imports the (heavy)
+#: analysis stack; ``tests/test_cli.py`` asserts the two stay in sync.
 _EXPERIMENTS = (
     "table1",
     "table2",
@@ -51,6 +59,22 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seeds", type=int, default=1, help="number of seeds for accuracy runs")
     report.add_argument("--epochs", type=int, default=8, help="training epochs for accuracy runs")
     report.add_argument("--scale", type=int, default=4, help="layer down-scaling for simulator runs")
+    report.add_argument(
+        "--checkpoint-dir", default=None,
+        help="cache completed experiment cells here (enables crash recovery)",
+    )
+    report.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already cached in --checkpoint-dir instead of recomputing",
+    )
+    report.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per experiment cell before it is declared failed",
+    )
+    report.add_argument(
+        "--strict-checks", action="store_true",
+        help="run with strict mask/format invariant checking",
+    )
 
     prune = sub.add_parser("prune", help="prune a .npy weight matrix")
     prune.add_argument("weights", help="path to a 2-D .npy array")
@@ -58,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
     prune.add_argument("--sparsity", type=float, default=0.5)
     prune.add_argument("--m", type=int, default=8)
     prune.add_argument("--out", default=None, help="output mask path (default: <weights>.mask.npy)")
+    prune.add_argument(
+        "--strict-checks", action="store_true",
+        help="validate the generated mask against its pattern family",
+    )
 
     sim = sub.add_parser("simulate", help="simulate one sparse GEMM")
     sim.add_argument("--rows", type=int, required=True)
@@ -66,99 +94,122 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--sparsity", type=float, default=0.75)
     sim.add_argument("--arch", default="TB-STC")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--strict-checks", action="store_true",
+        help="validate the workload mask and storage-format round-trip",
+    )
     return parser
 
 
+def _fail(message: str) -> int:
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _check_sparsity(value: float) -> Optional[str]:
+    if not 0.0 <= value < 1.0:
+        return f"sparsity must be in [0, 1), got {value}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+
+def _render_report(experiment: str, res) -> None:
+    """Print one experiment's computed data the way the paper tables read."""
+    from .analysis import render_dict_table, render_table
+
+    if experiment == "table1":
+        print(render_dict_table(res, key_header="proxy"))
+    elif experiment == "table2":
+        print(render_dict_table(res, key_header="proxy/criterion"))
+    elif experiment == "table3":
+        print(render_dict_table(
+            {"area_mm2": res["area_mm2"], "power_mw": res["power_mw"]}, key_header="metric"
+        ))
+    elif experiment == "fig1":
+        print(render_table(
+            ["design", "EDP", "accuracy"],
+            [[p.label, f"{p.cost:.3e}", f"{p.quality:.3f}"] for p in res["points"]],
+        ))
+        print("frontier:", [p.label for p in res["frontier"]])
+    elif experiment == "fig4":
+        print(render_dict_table(
+            {"similarity_vs_US": res["similarity"], "log2_maskspace": res["log2_maskspace"]},
+            key_header="metric",
+        ))
+    elif experiment == "fig6":
+        print(res)
+    elif experiment == "fig7":
+        print(render_dict_table(res, key_header="workload"))
+    elif experiment == "fig12":
+        for layer, table in res.items():
+            print(render_dict_table(table, key_header=layer))
+    elif experiment == "fig13":
+        for model, table in res.items():
+            print(render_dict_table(table, key_header=model))
+    elif experiment == "fig14":
+        print(render_dict_table(res, key_header="layer"))
+    elif experiment == "fig15":
+        print(render_dict_table(
+            {f"M={m}": row for m, row in res["block_size"].items()}, key_header="block"
+        ))
+        print("quantization:", res["quantization"])
+        print("bandwidth:", res["bandwidth"])
+        print(render_dict_table(
+            {f"{s:.0%}": row for s, row in res["sparsity_sweep"].items()}, key_header="sparsity"
+        ))
+    elif experiment == "fig16":
+        print("codec:", res["codec"])
+        print(render_dict_table(res["scheduling"], key_header="metric"))
+    elif experiment == "fig17":
+        print(render_dict_table(res, key_header="layers"))
+    elif experiment == "fig18":
+        for name, series in res.items():
+            print(name, [round(v, 3) for v in series])
+    else:  # pragma: no cover - choices restrict this
+        raise ValueError(experiment)
+
+
 def _run_report(args) -> int:
-    from .analysis import (
-        render_dict_table,
-        render_table,
-        run_fig1_pareto,
-        run_fig4_maskspace,
-        run_fig6_datapath_power,
-        run_fig7_bandwidth,
-        run_fig12_layerwise,
-        run_fig13_end2end,
-        run_fig14_breakdown,
-        run_fig15_bandwidth,
-        run_fig15_block_size,
-        run_fig15_quantization,
-        run_fig15_sparsity_sweep,
-        run_fig16_codec_ablation,
-        run_fig16_scheduling_ablation,
-        run_fig17_distribution,
-        run_fig18_convergence,
-        run_table1,
-        run_table2,
-        run_table3,
+    from .analysis.experiments import run_experiment
+    from .runtime.runner import ExperimentRunner
+
+    if args.seeds < 1:
+        return _fail(f"--seeds must be >= 1, got {args.seeds}")
+    if args.retries < 0:
+        return _fail(f"--retries must be >= 0, got {args.retries}")
+
+    runner = ExperimentRunner(
+        cache_dir=args.checkpoint_dir, retries=args.retries, resume=args.resume
     )
-
+    names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     seeds = tuple(range(args.seeds))
+    failures = []
+    for name in names:
+        cell = runner.run(
+            name, run_experiment, name=name, seeds=seeds, epochs=args.epochs, scale=args.scale
+        )
+        suffix = " (cached)" if cell.status == "cached" else ""
+        print(f"\n--- {name}{suffix} ---")
+        if not cell.ok:
+            print(
+                f"error: {name} failed after {cell.attempts} attempt(s): {cell.error}",
+                file=sys.stderr,
+            )
+            failures.append(name)
+            continue
+        _render_report(name, cell.value)
+    if len(names) > 1:
+        print(f"\n[repro] {runner.summary()}")
+    return 1 if failures else 0
 
-    def show(experiment: str) -> None:
-        print(f"\n--- {experiment} ---")
-        if experiment == "table1":
-            print(render_dict_table(run_table1(seeds=seeds, epochs=args.epochs), key_header="proxy"))
-        elif experiment == "table2":
-            print(render_dict_table(run_table2(seeds=seeds, epochs=args.epochs), key_header="proxy/criterion"))
-        elif experiment == "table3":
-            res = run_table3()
-            print(render_dict_table(
-                {"area_mm2": res["area_mm2"], "power_mw": res["power_mw"]}, key_header="metric"
-            ))
-        elif experiment == "fig1":
-            res = run_fig1_pareto(seeds=seeds, epochs=args.epochs, scale=args.scale)
-            print(render_table(
-                ["design", "EDP", "accuracy"],
-                [[p.label, f"{p.cost:.3e}", f"{p.quality:.3f}"] for p in res["points"]],
-            ))
-            print("frontier:", [p.label for p in res["frontier"]])
-        elif experiment == "fig4":
-            res = run_fig4_maskspace()
-            print(render_dict_table(
-                {"similarity_vs_US": res["similarity"], "log2_maskspace": res["log2_maskspace"]},
-                key_header="metric",
-            ))
-        elif experiment == "fig6":
-            print(run_fig6_datapath_power())
-        elif experiment == "fig7":
-            print(render_dict_table(run_fig7_bandwidth(), key_header="workload"))
-        elif experiment == "fig12":
-            for layer, table in run_fig12_layerwise(scale=args.scale).items():
-                print(render_dict_table(table, key_header=layer))
-        elif experiment == "fig13":
-            for model, table in run_fig13_end2end(scale=max(args.scale, 8)).items():
-                print(render_dict_table(table, key_header=model))
-        elif experiment == "fig14":
-            print(render_dict_table(run_fig14_breakdown(scale=args.scale), key_header="layer"))
-        elif experiment == "fig15":
-            print(render_dict_table(
-                {f"M={m}": row for m, row in run_fig15_block_size(scale=args.scale, epochs=args.epochs).items()},
-                key_header="block",
-            ))
-            print("quantization:", run_fig15_quantization(epochs=args.epochs, scale=args.scale))
-            print("bandwidth:", run_fig15_bandwidth(scale=args.scale))
-            print(render_dict_table(
-                {f"{s:.0%}": row for s, row in run_fig15_sparsity_sweep(scale=args.scale).items()},
-                key_header="sparsity",
-            ))
-        elif experiment == "fig16":
-            print("codec:", run_fig16_codec_ablation(scale=args.scale))
-            print(render_dict_table(run_fig16_scheduling_ablation(scale=args.scale), key_header="metric"))
-        elif experiment == "fig17":
-            print(render_dict_table(run_fig17_distribution(), key_header="layers"))
-        elif experiment == "fig18":
-            for name, series in run_fig18_convergence(epochs=args.epochs).items():
-                print(name, [round(v, 3) for v in series])
-        else:  # pragma: no cover - choices restrict this
-            raise ValueError(experiment)
 
-    if args.experiment == "all":
-        for experiment in _EXPERIMENTS:
-            show(experiment)
-    else:
-        show(args.experiment)
-    return 0
+# ---------------------------------------------------------------------------
+# prune / simulate
+# ---------------------------------------------------------------------------
 
 
 def _run_prune(args) -> int:
@@ -166,10 +217,17 @@ def _run_prune(args) -> int:
     from .core.patterns import PatternFamily, PatternSpec
     from .core.sparsify import tbs_sparsify
 
-    weights = np.load(args.weights)
+    bad = _check_sparsity(args.sparsity)
+    if bad:
+        return _fail(bad)
+    if args.m < 1:
+        return _fail(f"--m must be >= 1, got {args.m}")
+    try:
+        weights = np.load(args.weights)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot read weights {args.weights!r}: {exc}")
     if weights.ndim != 2:
-        print(f"error: expected a 2-D array, got shape {weights.shape}", file=sys.stderr)
-        return 2
+        return _fail(f"expected a 2-D array, got shape {weights.shape}")
     family = PatternFamily[args.pattern]
     if family is PatternFamily.TBS:
         result = tbs_sparsify(weights, m=args.m, sparsity=args.sparsity)
@@ -179,7 +237,10 @@ def _run_prune(args) -> int:
         mask = make_mask(weights, PatternSpec(family, m=args.m, sparsity=args.sparsity))
         extra = ""
     out = args.out or args.weights.replace(".npy", "") + ".mask.npy"
-    np.save(out, mask)
+    try:
+        np.save(out, mask)
+    except OSError as exc:
+        return _fail(f"cannot write mask to {out!r}: {exc}")
     print(f"{args.pattern} mask: sparsity {1 - mask.mean():.1%}{extra} -> {out}")
     return 0
 
@@ -190,11 +251,15 @@ def _run_simulate(args) -> int:
     from .workloads.generator import build_workload
     from .workloads.layers import LayerSpec
 
+    bad = _check_sparsity(args.sparsity)
+    if bad:
+        return _fail(bad)
+    if min(args.rows, args.cols, args.b_cols) < 1:
+        return _fail("--rows, --cols and --b-cols must all be >= 1")
     try:
         config = arch_by_name(args.arch)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return _fail(str(exc))
     family = ARCH_FAMILY.get(args.arch, PatternFamily.TBS)
     layer = LayerSpec("cli", args.rows, args.cols, args.b_cols)
     workload = build_workload(layer, family, args.sparsity, seed=args.seed)
@@ -209,8 +274,7 @@ def _run_simulate(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
     if args.command == "report":
         return _run_report(args)
     if args.command == "prune":
@@ -218,6 +282,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "simulate":
         return _run_simulate(args)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "strict_checks", False):
+        from .runtime.checks import check_level
+
+        with check_level("strict"):
+            return _dispatch(args)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

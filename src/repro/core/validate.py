@@ -18,7 +18,13 @@ from .blocks import split_into_blocks
 from .patterns import Direction, PatternFamily, PatternSpec
 from .sparsify import TBSResult
 
-__all__ = ["Violation", "ValidationReport", "validate_mask", "validate_tbs_result"]
+__all__ = [
+    "Violation",
+    "ValidationReport",
+    "validate_mask",
+    "validate_tbs_result",
+    "assert_valid",
+]
 
 
 @dataclass(frozen=True)
@@ -149,3 +155,18 @@ def validate_tbs_result(result: TBSResult) -> ValidationReport:
     """Validate a :class:`TBSResult` against its own declared metadata."""
     spec = PatternSpec(PatternFamily.TBS, m=result.m)
     return validate_mask(result.mask, spec, tbs=result)
+
+
+def assert_valid(
+    mask: np.ndarray, spec: PatternSpec, tbs: Optional[TBSResult] = None
+) -> ValidationReport:
+    """Validate and raise ``ValueError`` with the summary on violation.
+
+    The one-call form used by the runtime invariant layer
+    (:mod:`repro.runtime.checks`) and scripts that want hard failures
+    instead of reports.
+    """
+    report = validate_mask(mask, spec, tbs=tbs)
+    if not report.ok:
+        raise ValueError(report.summary())
+    return report

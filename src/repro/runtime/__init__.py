@@ -1,0 +1,59 @@
+"""Resilient-execution layer: checkpoints, watchdog, invariants, runner.
+
+Long TB-STC reproductions (sparse training sweeps, ``repro report all``)
+must survive crashes, divergence, and partial failures.  This package
+provides the four pieces the rest of the stack wires in:
+
+* :mod:`~repro.runtime.state`      -- bit-exact capture/restore of model,
+  optimizer, mask and RNG state;
+* :mod:`~repro.runtime.checkpoint` -- content-addressed, atomically
+  written ``.npz`` snapshots with corruption-tolerant loading;
+* :mod:`~repro.runtime.watchdog`   -- NaN/Inf/loss-spike detection with
+  bounded rollback + learning-rate backoff;
+* :mod:`~repro.runtime.checks`     -- configurable mask/format invariant
+  checking (``off`` / ``warn`` / ``strict``);
+* :mod:`~repro.runtime.runner`     -- fault-tolerant experiment runner
+  with per-cell retries and disk caching.
+"""
+
+from .checkpoint import CheckpointError, CheckpointStore
+from .checks import (
+    CHECK_LEVELS,
+    InvariantError,
+    InvariantWarning,
+    check_format_roundtrip,
+    check_level,
+    check_mask,
+    check_workload,
+    get_check_level,
+    set_check_level,
+)
+from .runner import CellResult, ExperimentRunner
+from .state import (
+    TrainState,
+    capture_train_state,
+    restore_train_state,
+)
+from .watchdog import DivergenceWatchdog, WatchdogConfig, WatchdogEvent
+
+__all__ = [
+    "CHECK_LEVELS",
+    "CellResult",
+    "CheckpointError",
+    "CheckpointStore",
+    "DivergenceWatchdog",
+    "ExperimentRunner",
+    "InvariantError",
+    "InvariantWarning",
+    "TrainState",
+    "WatchdogConfig",
+    "WatchdogEvent",
+    "capture_train_state",
+    "check_format_roundtrip",
+    "check_level",
+    "check_mask",
+    "check_workload",
+    "get_check_level",
+    "restore_train_state",
+    "set_check_level",
+]

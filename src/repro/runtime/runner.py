@@ -1,0 +1,155 @@
+"""Fault-tolerant experiment runner with per-cell disk caching.
+
+``repro report all`` runs 14 independent experiment cells; without
+isolation, a crash in cell 9 throws away cells 1-8.  The runner gives
+each cell:
+
+* **isolation** -- exceptions are caught per cell and reported as a
+  failed :class:`CellResult` instead of unwinding the whole run;
+* **bounded retries** -- transient failures get ``retries`` fresh
+  attempts before the cell is declared failed;
+* **disk caching** -- successful results are pickled (atomic
+  write-rename) under a key derived from the cell name and its exact
+  keyword arguments, so a re-run with ``resume=True`` skips every cell
+  that already completed and recomputes only the missing ones.
+
+The runner is deliberately generic (name + callable + kwargs); the
+mapping from paper table/figure names to driver callables lives in
+:func:`repro.analysis.experiments.run_experiment`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = ["CellResult", "ExperimentRunner"]
+
+
+@dataclass
+class CellResult:
+    """Outcome of one experiment cell."""
+
+    name: str
+    status: str  # "ok" | "cached" | "failed"
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+def _cache_key(name: str, kwargs: Dict[str, Any]) -> str:
+    try:
+        blob = json.dumps(kwargs, sort_keys=True, default=repr)
+    except TypeError:  # pragma: no cover - default=repr handles everything
+        blob = repr(sorted(kwargs.items()))
+    digest = hashlib.sha256(f"{name}::{blob}".encode()).hexdigest()[:16]
+    return f"{name}-{digest}"
+
+
+class ExperimentRunner:
+    """Run experiment cells with isolation, retries, and a result cache."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        retries: int = 1,
+        resume: bool = False,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.retries = retries
+        self.resume = resume
+        self.results: List[CellResult] = []
+
+    # -- cache --------------------------------------------------------------
+
+    def _cache_path(self, name: str, kwargs: Dict[str, Any]) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{_cache_key(name, kwargs)}.pkl"
+
+    def _read_cache(self, path: Optional[Path]) -> Any:
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:  # corrupt cache entry: recompute, don't crash
+            return None
+
+    def _write_cache(self, path: Optional[Path], value: Any) -> None:
+        if path is None:
+            return
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-cell-", dir=self.cache_dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, name: str, fn: Callable[..., Any], /, **kwargs: Any) -> CellResult:
+        """Execute one cell (or serve it from cache) and record the result."""
+        path = self._cache_path(name, kwargs)
+        if self.resume:
+            cached = self._read_cache(path)
+            if cached is not None:
+                result = CellResult(name, "cached", value=cached)
+                self.results.append(result)
+                return result
+        start = time.perf_counter()
+        error: Optional[str] = None
+        attempts = 0
+        for attempt in range(self.retries + 1):
+            attempts = attempt + 1
+            try:
+                value = fn(**kwargs)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - cell isolation is the point
+                error = f"{type(exc).__name__}: {exc}"
+                continue
+            self._write_cache(path, value)
+            result = CellResult(
+                name, "ok", value=value, attempts=attempts,
+                elapsed_s=time.perf_counter() - start,
+            )
+            self.results.append(result)
+            return result
+        result = CellResult(
+            name, "failed", error=error, attempts=attempts,
+            elapsed_s=time.perf_counter() - start,
+        )
+        self.results.append(result)
+        return result
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def failed(self) -> List[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    def summary(self) -> str:
+        ok = sum(1 for r in self.results if r.status == "ok")
+        cached = sum(1 for r in self.results if r.status == "cached")
+        failed = len(self.failed)
+        return f"{ok} computed, {cached} from cache, {failed} failed"

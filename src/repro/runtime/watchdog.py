@@ -1,0 +1,127 @@
+"""Divergence watchdog: detect NaN/Inf/loss-spikes, decide rollbacks.
+
+Truly-sparse training regenerates its mask every epoch, which is exactly
+where long runs blow up silently (a bad mask + high LR => NaN half an
+hour in).  The watchdog watches the per-batch and per-epoch losses,
+classifies divergence, and tells the training loop to roll back to the
+last good state with a learning-rate backoff.  Retries are bounded:
+after ``max_retries`` rollbacks the run degrades gracefully -- it stops,
+flags the result, and keeps whatever progress was sound.
+
+The watchdog only *decides*; the training loop owns the state capture /
+restore (via :mod:`repro.runtime.state`) so the policy stays testable in
+isolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["WatchdogConfig", "WatchdogEvent", "DivergenceWatchdog"]
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Policy knobs for :class:`DivergenceWatchdog`.
+
+    ``spike_factor`` flags an epoch whose mean loss exceeds
+    ``spike_factor x`` the last good epoch's loss (NaN/Inf always flag).
+    ``lr_backoff`` multiplies the effective learning rate on every
+    rollback; ``max_retries`` bounds total rollbacks per run before the
+    run degrades.
+    """
+
+    enabled: bool = True
+    spike_factor: float = 10.0
+    lr_backoff: float = 0.5
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.spike_factor <= 1.0:
+            raise ValueError("spike_factor must be > 1")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ValueError("lr_backoff must be in (0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+@dataclass
+class WatchdogEvent:
+    """One divergence occurrence and the action taken."""
+
+    epoch: int
+    kind: str  # "nan" | "spike"
+    loss: float
+    action: str  # "rollback" | "degrade"
+    lr_scale: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "kind": self.kind,
+            "loss": self.loss,
+            "action": self.action,
+            "lr_scale": self.lr_scale,
+        }
+
+
+@dataclass
+class DivergenceWatchdog:
+    """Stateful divergence policy for one training run."""
+
+    config: WatchdogConfig = field(default_factory=WatchdogConfig)
+    retries: int = 0
+    lr_scale: float = 1.0
+    last_good_loss: Optional[float] = None
+    events: List[WatchdogEvent] = field(default_factory=list)
+
+    def classify(self, loss: float) -> Optional[str]:
+        """``None`` if the loss is healthy, else the divergence kind."""
+        if not self.config.enabled:
+            return None
+        if not math.isfinite(loss):
+            return "nan"
+        if (
+            self.last_good_loss is not None
+            and math.isfinite(self.last_good_loss)
+            and loss > self.config.spike_factor * abs(self.last_good_loss) + 1e-12
+        ):
+            return "spike"
+        return None
+
+    def record_good(self, loss: float) -> None:
+        self.last_good_loss = loss
+
+    def diverged(self, epoch: int, loss: float, kind: str) -> str:
+        """Register a divergence; returns ``"rollback"`` or ``"degrade"``.
+
+        On rollback the caller must restore the last good state and apply
+        :attr:`lr_scale` (already multiplied by the backoff) to its
+        learning rate.
+        """
+        if self.retries < self.config.max_retries:
+            self.retries += 1
+            self.lr_scale *= self.config.lr_backoff
+            action = "rollback"
+        else:
+            action = "degrade"
+        self.events.append(WatchdogEvent(epoch, kind, float(loss), action, self.lr_scale))
+        return action
+
+    # -- checkpoint integration --------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "retries": self.retries,
+            "lr_scale": self.lr_scale,
+            "last_good_loss": self.last_good_loss,
+            "events": [e.as_dict() for e in self.events],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.retries = int(state.get("retries", 0))
+        self.lr_scale = float(state.get("lr_scale", 1.0))
+        self.last_good_loss = state.get("last_good_loss")
+        self.events = [WatchdogEvent(**e) for e in state.get("events", [])]

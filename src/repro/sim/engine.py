@@ -45,6 +45,7 @@ from ..hw.dvpe import DVPE
 from ..hw.energy import EnergyModel, EnergyParams
 from ..hw.mapping import BlockWork
 from ..hw.scheduler import schedule_direct, schedule_sparsity_aware
+from ..runtime.checks import check_format_roundtrip, check_workload, get_check_level
 from ..workloads.generator import GEMMWorkload
 from .metrics import SimResult
 
@@ -248,7 +249,24 @@ def simulate(
     ``row_overhead_cycles`` models per-non-empty-row processing overhead
     of CSR-style machines (used by the SGCN baseline);
     ``weight_bits`` < 16 models quantized weights (Fig. 15(b)).
+
+    When invariant checking is on (:mod:`repro.runtime.checks`), the
+    workload mask is validated against its declared pattern family, and
+    under ``strict`` the architecture's storage format is additionally
+    round-tripped (encode -> decode must be exact) before simulation.
     """
+    level = get_check_level()
+    if level != "off":
+        check_workload(workload, context=f"simulate:{workload.name}")
+        if level == "strict" and config.storage_format in _FORMATS:
+            check_format_roundtrip(
+                _FORMATS[config.storage_format](),
+                workload.values,
+                mask=workload.mask,
+                tbs=workload.tbs,
+                block_size=workload.m,
+                context=f"simulate:{workload.name}",
+            )
     params = energy_params or EnergyParams()
     row_counts, dirs = block_segments(workload, config)
     costs = _block_costs(row_counts, config, row_overhead=row_overhead_cycles)

@@ -1,0 +1,89 @@
+"""Adversarial mask round-trips: degenerate shapes and pathological masks.
+
+The storage formats must reconstruct the matrix exactly even for inputs
+the TBS generator would never emit on its own: rows with zero survivors,
+fully-dense blocks, single-row/single-column matrices, and ragged shapes
+that don't divide the block size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import tbs_sparsify
+from repro.formats import BitmapFormat, CSRFormat, DDCFormat, DenseFormat, SDCFormat
+
+ALL_FORMATS = [DenseFormat(), CSRFormat(), SDCFormat(), DDCFormat(), BitmapFormat()]
+
+
+def _roundtrip(fmt, values, mask):
+    enc = fmt.encode(values, mask=mask)
+    expected = np.where(mask, values, 0.0)
+    np.testing.assert_allclose(fmt.decode(enc), expected)
+    assert enc.nnz == np.count_nonzero(expected)
+
+
+def _values(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=shape)
+    values[values == 0] = 1.0  # keep nnz accounting unambiguous
+    return values
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS, ids=lambda f: f.name)
+class TestAdversarialMasks:
+    def test_empty_rows(self, fmt):
+        """Rows that keep nothing at all (SDC's worst padding case)."""
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[4:] = True
+        _roundtrip(fmt, _values((8, 8)), mask)
+
+    def test_interleaved_empty_rows(self, fmt):
+        mask = np.zeros((16, 8), dtype=bool)
+        mask[::2, ::2] = True
+        _roundtrip(fmt, _values((16, 8), seed=1), mask)
+
+    def test_empty_columns(self, fmt):
+        mask = np.zeros((8, 16), dtype=bool)
+        mask[:, 8:] = True
+        _roundtrip(fmt, _values((8, 16), seed=2), mask)
+
+    def test_all_dense_blocks(self, fmt):
+        _roundtrip(fmt, _values((16, 16), seed=3), np.ones((16, 16), dtype=bool))
+
+    def test_all_empty(self, fmt):
+        mask = np.zeros((8, 8), dtype=bool)
+        enc = fmt.encode(_values((8, 8), seed=4), mask=mask)
+        np.testing.assert_array_equal(fmt.decode(enc), np.zeros((8, 8)))
+        assert enc.nnz == 0
+
+    def test_single_row(self, fmt):
+        """1 x M degenerate shape."""
+        mask = np.array([[True, False, True, False, True, False, True, False]])
+        _roundtrip(fmt, _values((1, 8), seed=5), mask)
+
+    def test_single_column(self, fmt):
+        """M x 1 degenerate shape."""
+        mask = np.array([[True], [False], [True], [False], [True], [False], [True], [False]])
+        _roundtrip(fmt, _values((8, 1), seed=6), mask)
+
+    def test_single_element_matrix(self, fmt):
+        _roundtrip(fmt, _values((1, 1), seed=7), np.ones((1, 1), dtype=bool))
+
+    def test_ragged_shape_with_empty_tail(self, fmt):
+        """Shape that divides the block size in neither dimension, with
+        the entire ragged tail masked out."""
+        mask = np.ones((13, 11), dtype=bool)
+        mask[8:, :] = False
+        mask[:, 8:] = False
+        _roundtrip(fmt, _values((13, 11), seed=8), mask)
+
+    def test_checkerboard(self, fmt):
+        rows, cols = np.indices((12, 12))
+        mask = (rows + cols) % 2 == 0
+        _roundtrip(fmt, _values((12, 12), seed=9), mask)
+
+    def test_tbs_mask_at_extreme_sparsity(self, fmt):
+        values = _values((32, 32), seed=10)
+        res = tbs_sparsify(values, m=8, sparsity=0.97)
+        enc = fmt.encode(values * res.mask, tbs=res if fmt.name == "ddc" else None)
+        np.testing.assert_allclose(fmt.decode(enc), values * res.mask)

@@ -1,0 +1,139 @@
+"""Tests for the content-addressed atomic checkpoint store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.checkpoint import CheckpointError, CheckpointStore
+from repro.runtime.state import TrainState
+
+
+def _state(epoch=0, value=1.0):
+    return TrainState(
+        epoch=epoch,
+        arrays={"param.0.weight": np.full((4, 4), value), "mask.0": np.eye(4, dtype=bool)},
+        meta={
+            "epoch": epoch,
+            "rng_state": {"bit_generator": "PCG64", "state": {"state": 123, "inc": 5}},
+            "loss_history": [0.5, 0.25],
+            "sparsity_history": [0.75, 0.75],
+            "optimizer": {"lr": 0.05},
+        },
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(_state(epoch=3))
+        assert path.exists() and path.name.startswith("ckpt-00003-")
+        loaded = store.load(path)
+        assert loaded.epoch == 3
+        np.testing.assert_array_equal(
+            loaded.arrays["param.0.weight"], np.full((4, 4), 1.0)
+        )
+        assert loaded.arrays["mask.0"].dtype == bool
+        assert loaded.meta["loss_history"] == [0.5, 0.25]
+        assert loaded.meta["rng_state"]["state"]["state"] == 123
+
+    def test_content_addressing_dedupes(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        p1 = store.save(_state(epoch=2))
+        p2 = store.save(_state(epoch=2))
+        assert p1 == p2
+        assert len(store.list()) == 1
+
+    def test_different_content_different_name(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        p1 = store.save(_state(epoch=2, value=1.0))
+        p2 = store.save(_state(epoch=2, value=2.0))
+        assert p1 != p2
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(_state())
+        leftovers = [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_big_rng_ints_survive(self, tmp_path):
+        state = _state()
+        state.meta["rng_state"]["state"]["state"] = 2**127 + 17  # PCG64 is 128-bit
+        store = CheckpointStore(tmp_path)
+        loaded = store.load(store.save(state))
+        assert loaded.meta["rng_state"]["state"]["state"] == 2**127 + 17
+
+
+class TestLatest:
+    def test_empty_store(self, tmp_path):
+        assert CheckpointStore(tmp_path).latest() is None
+
+    def test_picks_highest_epoch(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for epoch in (0, 4, 2):
+            store.save(_state(epoch=epoch, value=float(epoch)))
+        assert store.latest().epoch == 4
+
+    def test_skips_corrupt_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(_state(epoch=1))
+        newest = store.save(_state(epoch=2, value=9.0))
+        newest.write_bytes(b"not a zip at all")
+        latest = store.latest()
+        assert latest is not None and latest.epoch == 1
+
+    def test_ignores_foreign_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello")
+        store = CheckpointStore(tmp_path)
+        store.save(_state(epoch=0))
+        assert len(store.list()) == 1
+
+
+class TestIntegrity:
+    def test_digest_mismatch_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(_state(epoch=1))
+        # Rename to claim a different digest: load must notice.
+        impostor = path.with_name("ckpt-00001-" + "0" * 12 + ".npz")
+        path.rename(impostor)
+        with pytest.raises(CheckpointError):
+            store.load(impostor)
+
+    def test_unreadable_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        bad = tmp_path / ("ckpt-00001-" + "a" * 12 + ".npz")
+        bad.write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            store.load(bad)
+
+    def test_meta_json_is_stable(self, tmp_path):
+        """Digest must survive a save -> load -> save cycle."""
+        store = CheckpointStore(tmp_path)
+        path = store.save(_state(epoch=1))
+        loaded = store.load(path)
+        again = store.save(loaded)
+        assert again == path
+
+
+class TestRetention:
+    def test_max_keep_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(tmp_path, max_keep=2)
+        for epoch in range(5):
+            store.save(_state(epoch=epoch, value=float(epoch)))
+        kept = store.list()
+        assert len(kept) == 2
+        assert [store.load(p).epoch for p in kept] == [3, 4]
+
+    def test_rejects_bad_max_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, max_keep=0)
+
+
+class TestMetaEncoding:
+    def test_meta_is_plain_json(self, tmp_path):
+        """The __meta__ entry must stay readable without pickle."""
+        store = CheckpointStore(tmp_path)
+        path = store.save(_state(epoch=1))
+        with np.load(path, allow_pickle=False) as npz:
+            meta = json.loads(str(npz["__meta__"]))
+        assert meta["epoch"] == 1

@@ -1,0 +1,121 @@
+"""Fault-tolerant experiment runner: isolation, retries, disk cache."""
+
+import pytest
+
+from repro.runtime.runner import CellResult, ExperimentRunner
+
+
+class _Flaky:
+    """Callable that fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError(f"transient #{self.calls}")
+        return {"kwargs": kwargs, "calls": self.calls}
+
+
+class TestIsolationAndRetries:
+    def test_success_first_try(self):
+        runner = ExperimentRunner()
+        cell = runner.run("a", lambda **kw: 42)
+        assert cell.ok and cell.status == "ok" and cell.value == 42
+        assert cell.attempts == 1
+
+    def test_retry_recovers_transient_failure(self):
+        fn = _Flaky(failures=1)
+        runner = ExperimentRunner(retries=1)
+        cell = runner.run("a", fn)
+        assert cell.status == "ok" and cell.attempts == 2
+        assert fn.calls == 2
+
+    def test_exhausted_retries_fail_without_raising(self):
+        runner = ExperimentRunner(retries=2)
+        cell = runner.run("a", _Flaky(failures=10))
+        assert cell.status == "failed" and not cell.ok
+        assert cell.attempts == 3
+        assert "RuntimeError" in cell.error and "transient" in cell.error
+
+    def test_failure_does_not_stop_later_cells(self):
+        runner = ExperimentRunner(retries=0)
+        runner.run("bad", _Flaky(failures=10))
+        good = runner.run("good", lambda **kw: "fine")
+        assert good.ok
+        assert [r.name for r in runner.failed] == ["bad"]
+
+    def test_keyboard_interrupt_propagates(self):
+        def interrupted(**kwargs):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            ExperimentRunner(retries=5).run("a", interrupted)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(retries=-1)
+
+
+class TestCache:
+    def test_resume_serves_cache_without_calling(self, tmp_path):
+        first = ExperimentRunner(cache_dir=tmp_path)
+        first.run("cell", lambda **kw: {"answer": 7}, x=1)
+
+        fn = _Flaky(failures=10)  # would fail if ever called
+        second = ExperimentRunner(cache_dir=tmp_path, resume=True)
+        cell = second.run("cell", fn, x=1)
+        assert cell.status == "cached" and cell.ok
+        assert cell.value == {"answer": 7}
+        assert fn.calls == 0
+
+    def test_cache_key_includes_kwargs(self, tmp_path):
+        first = ExperimentRunner(cache_dir=tmp_path)
+        first.run("cell", lambda **kw: kw["x"], x=1)
+
+        calls = []
+        second = ExperimentRunner(cache_dir=tmp_path, resume=True)
+        cell = second.run("cell", lambda **kw: calls.append(1) or kw["x"], x=2)
+        assert cell.status == "ok" and cell.value == 2
+        assert calls  # different kwargs: the cache entry must not match
+
+    def test_without_resume_cache_is_ignored_but_written(self, tmp_path):
+        ExperimentRunner(cache_dir=tmp_path).run("cell", lambda **kw: 1)
+        runner = ExperimentRunner(cache_dir=tmp_path, resume=False)
+        cell = runner.run("cell", lambda **kw: 2)
+        assert cell.status == "ok" and cell.value == 2
+
+    def test_corrupt_cache_entry_recomputes(self, tmp_path):
+        ExperimentRunner(cache_dir=tmp_path).run("cell", lambda **kw: 1)
+        for entry in tmp_path.glob("cell-*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        cell = ExperimentRunner(cache_dir=tmp_path, resume=True).run(
+            "cell", lambda **kw: "recomputed"
+        )
+        assert cell.status == "ok" and cell.value == "recomputed"
+
+    def test_failed_cells_are_not_cached(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, retries=0)
+        runner.run("cell", _Flaky(failures=10))
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_no_tmp_litter(self, tmp_path):
+        ExperimentRunner(cache_dir=tmp_path).run("cell", lambda **kw: 1)
+        assert [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")] == []
+
+
+class TestReporting:
+    def test_summary_counts(self, tmp_path):
+        ExperimentRunner(cache_dir=tmp_path).run("a", lambda **kw: 1)
+        runner = ExperimentRunner(cache_dir=tmp_path, resume=True, retries=0)
+        runner.run("a", lambda **kw: 1)
+        runner.run("b", lambda **kw: 2)
+        runner.run("c", _Flaky(failures=10))
+        assert runner.summary() == "1 computed, 1 from cache, 1 failed"
+
+    def test_cellresult_ok_statuses(self):
+        assert CellResult("x", "ok").ok
+        assert CellResult("x", "cached").ok
+        assert not CellResult("x", "failed").ok

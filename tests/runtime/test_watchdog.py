@@ -1,0 +1,176 @@
+"""Divergence watchdog: policy unit tests + training-loop integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import PatternFamily
+from repro.nn.data import cluster_dataset
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.models import make_mlp
+from repro.nn.optim import SGD
+from repro.nn.train import train
+from repro.runtime.watchdog import DivergenceWatchdog, WatchdogConfig
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = WatchdogConfig()
+        assert cfg.enabled and cfg.max_retries == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spike_factor": 1.0},
+            {"spike_factor": 0.5},
+            {"lr_backoff": 0.0},
+            {"lr_backoff": 1.0},
+            {"max_retries": -1},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogConfig(**kwargs)
+
+
+class TestClassify:
+    def test_healthy_loss(self):
+        wd = DivergenceWatchdog()
+        assert wd.classify(1.0) is None
+
+    @pytest.mark.parametrize("loss", [float("nan"), float("inf"), float("-inf")])
+    def test_nonfinite(self, loss):
+        assert DivergenceWatchdog().classify(loss) == "nan"
+
+    def test_spike_needs_baseline(self):
+        wd = DivergenceWatchdog()
+        assert wd.classify(1e9) is None  # no last-good yet: can't be a spike
+        wd.record_good(1.0)
+        assert wd.classify(11.0) == "spike"
+        assert wd.classify(9.0) is None
+
+    def test_disabled_sees_nothing(self):
+        wd = DivergenceWatchdog(WatchdogConfig(enabled=False))
+        assert wd.classify(float("nan")) is None
+
+
+class TestPolicy:
+    def test_rollback_then_degrade(self):
+        wd = DivergenceWatchdog(WatchdogConfig(max_retries=2))
+        assert wd.diverged(0, float("nan"), "nan") == "rollback"
+        assert wd.diverged(0, float("nan"), "nan") == "rollback"
+        assert wd.diverged(0, float("nan"), "nan") == "degrade"
+        assert [e.action for e in wd.events] == ["rollback", "rollback", "degrade"]
+
+    def test_lr_backoff_compounds(self):
+        wd = DivergenceWatchdog(WatchdogConfig(lr_backoff=0.5, max_retries=3))
+        wd.diverged(0, 1.0, "spike")
+        wd.diverged(1, 1.0, "spike")
+        assert wd.lr_scale == pytest.approx(0.25)
+
+    def test_state_dict_roundtrip(self):
+        wd = DivergenceWatchdog()
+        wd.record_good(0.7)
+        wd.diverged(3, float("inf"), "nan")
+        fresh = DivergenceWatchdog()
+        fresh.load_state_dict(wd.state_dict())
+        assert fresh.retries == 1
+        assert fresh.lr_scale == wd.lr_scale
+        assert fresh.last_good_loss == 0.7
+        assert [e.as_dict() for e in fresh.events] == [e.as_dict() for e in wd.events]
+
+
+# ---------------------------------------------------------------------------
+# Training-loop integration
+# ---------------------------------------------------------------------------
+
+
+def _setup(seed=5):
+    data = cluster_dataset(n_samples=128, n_features=16, n_classes=4, seed=seed)
+    model = make_mlp(16, 32, 4, depth=3, seed=seed)
+    return model, data
+
+
+def _loss_fn_nan_at(call_number):
+    """Wrap the criterion so exactly one call reports a NaN loss."""
+    state = {"n": 0}
+
+    def loss_fn(logits, labels):
+        state["n"] += 1
+        loss, dlogits = softmax_cross_entropy(logits, labels)
+        if state["n"] == call_number:
+            return float("nan"), dlogits
+        return loss, dlogits
+
+    return loss_fn
+
+
+class TestTrainingIntegration:
+    def test_nan_triggers_rollback_and_run_completes(self):
+        model, data = _setup()
+        opt = SGD(model, lr=0.05)
+        res = train(
+            model, data, family=PatternFamily.TBS, sparsity=0.5,
+            epochs=4, batch=48, seed=5, optimizer=opt,
+            loss_fn=_loss_fn_nan_at(5),  # 2 steps/epoch: NaN in epoch 2
+        )
+        assert not res.degraded
+        assert len(res.loss_history) == 4
+        assert res.completed_epochs == 4
+        assert len(res.watchdog_events) == 1
+        event = res.watchdog_events[0]
+        assert event["kind"] == "nan" and event["action"] == "rollback"
+        assert event["epoch"] == 2
+        # One rollback at backoff 0.5 halves the effective LR.
+        assert opt.lr == pytest.approx(0.025)
+
+    def test_persistent_divergence_degrades(self):
+        model, data = _setup()
+
+        def always_nan(logits, labels):
+            _, dlogits = softmax_cross_entropy(logits, labels)
+            return float("nan"), dlogits
+
+        res = train(
+            model, data, family=PatternFamily.TBS, sparsity=0.5,
+            epochs=4, batch=48, seed=5, loss_fn=always_nan,
+            watchdog=WatchdogConfig(max_retries=1),
+        )
+        assert res.degraded
+        assert res.loss_history == []
+        assert res.completed_epochs == 0
+        assert [e["action"] for e in res.watchdog_events] == ["rollback", "degrade"]
+        # Degraded runs still come back with finite parameters.
+        assert all(
+            np.isfinite(p).all()
+            for mod in model.modules()
+            for p in mod.params.values()
+        )
+
+    def test_spike_detected_on_epoch_mean(self):
+        model, data = _setup()
+        state = {"n": 0}
+
+        def spiky(logits, labels):
+            state["n"] += 1
+            loss, dlogits = softmax_cross_entropy(logits, labels)
+            if state["n"] in (3, 4):  # all of epoch 1 reports a huge loss
+                return loss * 1e4, dlogits
+            return loss, dlogits
+
+        res = train(
+            model, data, family=PatternFamily.TBS, sparsity=0.5,
+            epochs=3, batch=48, seed=5, loss_fn=spiky,
+        )
+        assert not res.degraded
+        assert len(res.loss_history) == 3
+        assert res.watchdog_events[0]["kind"] == "spike"
+
+    def test_disabled_watchdog_lets_nan_through(self):
+        model, data = _setup()
+        res = train(
+            model, data, family=PatternFamily.TBS, sparsity=0.5,
+            epochs=2, batch=48, seed=5,
+            loss_fn=_loss_fn_nan_at(1), watchdog=False,
+        )
+        assert res.watchdog_events == []
+        assert any(not np.isfinite(l) for l in res.loss_history)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _EXPERIMENTS, build_parser, main
 
 
 class TestParser:
@@ -11,6 +11,7 @@ class TestParser:
         args = build_parser().parse_args(["report", "table3"])
         assert args.experiment == "table3"
         assert args.seeds == 1
+        assert args.checkpoint_dir is None and not args.resume
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
@@ -19,6 +20,12 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_experiment_list_matches_analysis(self):
+        """The parser's local copy must track the analysis registry."""
+        from repro.analysis import EXPERIMENTS
+
+        assert _EXPERIMENTS == EXPERIMENTS
 
 
 class TestReport:
@@ -38,6 +45,46 @@ class TestReport:
     def test_fig17(self, capsys):
         assert main(["report", "fig17"]) == 0
         assert "col" in capsys.readouterr().out
+
+    def test_rejects_bad_seed_count(self, capsys):
+        assert main(["report", "table3", "--seeds", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "seeds" in err
+
+    def test_rejects_negative_retries(self, capsys):
+        assert main(["report", "table3", "--retries", "-1"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_cache_and_resume(self, tmp_path, capsys):
+        assert main(["report", "table3", "--checkpoint-dir", str(tmp_path)]) == 0
+        first = capsys.readouterr().out
+        assert "(cached)" not in first
+        assert list(tmp_path.glob("table3-*.pkl"))
+
+        assert main([
+            "report", "table3", "--checkpoint-dir", str(tmp_path), "--resume",
+        ]) == 0
+        second = capsys.readouterr().out
+        assert "--- table3 (cached) ---" in second
+        assert "DVPE Array" in second  # cached cells still render
+
+    def test_failed_cell_reports_one_line(self, capsys, monkeypatch):
+        import repro.analysis.experiments as experiments
+
+        def boom(**kwargs):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(experiments, "run_experiment", boom)
+        assert main(["report", "table3", "--retries", "0"]) == 1
+        captured = capsys.readouterr()
+        assert "error: table3 failed after 1 attempt(s)" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_strict_checks_flag(self, capsys):
+        from repro.runtime.checks import get_check_level
+
+        assert main(["report", "fig4", "--strict-checks"]) == 0
+        assert get_check_level() == "off"  # flag must not leak globally
 
 
 class TestPrune:
@@ -67,6 +114,43 @@ class TestPrune:
         assert main(["prune", str(path), "--out", str(out)]) == 0
         assert out.exists()
 
+    def test_missing_weights_file(self, tmp_path, capsys):
+        assert main(["prune", str(tmp_path / "nope.npy")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "cannot read weights" in err
+        assert "Traceback" not in err
+
+    def test_unreadable_weights_file(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.npy"
+        path.write_text("this is not a numpy file")
+        assert main(["prune", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    @pytest.mark.parametrize("sparsity", ["1.5", "-0.25", "1.0"])
+    def test_invalid_sparsity(self, tmp_path, capsys, sparsity):
+        path = tmp_path / "w.npy"
+        np.save(path, np.ones((8, 8)))
+        assert main(["prune", str(path), "--sparsity", sparsity]) == 2
+        assert "sparsity must be in [0, 1)" in capsys.readouterr().err
+
+    def test_invalid_m(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        np.save(path, np.ones((8, 8)))
+        assert main(["prune", str(path), "--m", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_unwritable_output(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        np.save(path, np.ones((8, 8)))
+        out = tmp_path / "no" / "such" / "dir" / "mask.npy"
+        assert main(["prune", str(path), "--out", str(out)]) == 2
+        assert "cannot write mask" in capsys.readouterr().err
+
+    def test_strict_checks_pass_on_valid_mask(self, tmp_path):
+        path = tmp_path / "w.npy"
+        np.save(path, np.random.default_rng(3).normal(size=(32, 32)))
+        assert main(["prune", str(path), "--strict-checks"]) == 0
+
 
 class TestSimulate:
     def test_basic(self, capsys):
@@ -85,3 +169,24 @@ class TestSimulate:
     def test_unknown_arch(self, capsys):
         rc = main(["simulate", "--rows", "64", "--cols", "64", "--b-cols", "16", "--arch", "TPU"])
         assert rc == 2
+
+    def test_invalid_sparsity(self, capsys):
+        rc = main([
+            "simulate", "--rows", "64", "--cols", "64", "--b-cols", "16",
+            "--sparsity", "-0.1",
+        ])
+        assert rc == 2
+        assert "sparsity must be in [0, 1)" in capsys.readouterr().err
+
+    def test_invalid_dims(self, capsys):
+        rc = main(["simulate", "--rows", "0", "--cols", "64", "--b-cols", "16"])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_strict_checks(self, capsys):
+        rc = main([
+            "simulate", "--rows", "64", "--cols", "64", "--b-cols", "16",
+            "--strict-checks",
+        ])
+        assert rc == 0
+        assert "cycles" in capsys.readouterr().out
