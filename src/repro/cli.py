@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three commands:
+Four commands:
 
 * ``report`` -- run one (or all) of the paper's experiments and print
   its table(s); experiment names follow the paper (``table1`` ...
@@ -11,6 +11,11 @@ Three commands:
 * ``prune`` -- prune a ``.npy`` weight matrix with any pattern family
   and write the boolean mask next to it.
 * ``simulate`` -- simulate one GEMM layer on a chosen architecture.
+* ``faults`` -- run a seeded Monte-Carlo fault-injection campaign
+  (:mod:`repro.faults`) over storage formats x fault models and print
+  the per-cell SDC-rate / detection-coverage table.  ``--ecc parity``
+  or ``--ecc secded`` protects format metadata and also prints the
+  protection's storage and energy overhead on a reference layer.
 
 ``--strict-checks`` (all commands) turns on the runtime invariant layer
 (:mod:`repro.runtime.checks`) in ``strict`` mode: invalid masks or
@@ -97,6 +102,42 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument(
         "--strict-checks", action="store_true",
         help="validate the workload mask and storage-format round-trip",
+    )
+
+    faults = sub.add_parser("faults", help="run a seeded fault-injection campaign")
+    faults.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    faults.add_argument("--trials", type=int, default=30, help="injections per (format, model) cell")
+    faults.add_argument(
+        "--formats", nargs="+", default=None, metavar="FMT",
+        help="storage formats to stress (default: all five)",
+    )
+    faults.add_argument(
+        "--models", nargs="+", default=None, metavar="MODEL",
+        help="fault models to sweep (default: all)",
+    )
+    faults.add_argument(
+        "--ecc", default="none", choices=["none", "parity", "secded"],
+        help="metadata protection to model (default: none)",
+    )
+    faults.add_argument("--rows", type=int, default=32)
+    faults.add_argument("--cols", type=int, default=32)
+    faults.add_argument("--m", type=int, default=8, help="block size M")
+    faults.add_argument("--sparsity", type=float, default=0.75)
+    faults.add_argument(
+        "--checks", default="warn", choices=["off", "warn", "strict"],
+        help="runtime invariant level the classification runs under (default: warn)",
+    )
+    faults.add_argument(
+        "--checkpoint-dir", default=None,
+        help="cache completed campaign cells here (enables crash recovery)",
+    )
+    faults.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already cached in --checkpoint-dir instead of recomputing",
+    )
+    faults.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per campaign cell before it is declared failed",
     )
     return parser
 
@@ -274,6 +315,70 @@ def _run_simulate(args) -> int:
     return 0
 
 
+def _run_faults(args) -> int:
+    from .faults import CampaignSpec, ECCConfig, render_campaign, run_campaign
+    from .runtime.runner import ExperimentRunner
+
+    bad = _check_sparsity(args.sparsity)
+    if bad:
+        return _fail(bad)
+    if args.trials < 1:
+        return _fail(f"--trials must be >= 1, got {args.trials}")
+    if args.retries < 0:
+        return _fail(f"--retries must be >= 0, got {args.retries}")
+    ecc = ECCConfig(mode=args.ecc)
+    try:
+        spec_kwargs = dict(
+            trials=args.trials, seed=args.seed, rows=args.rows, cols=args.cols,
+            m=args.m, sparsity=args.sparsity, ecc=ecc, check_level=args.checks,
+        )
+        if args.formats:
+            spec_kwargs["formats"] = tuple(args.formats)
+        if args.models:
+            spec_kwargs["models"] = tuple(args.models)
+        spec = CampaignSpec(**spec_kwargs)
+    except ValueError as exc:
+        return _fail(str(exc))
+
+    runner = None
+    if args.checkpoint_dir:
+        runner = ExperimentRunner(
+            cache_dir=args.checkpoint_dir, retries=args.retries, resume=args.resume
+        )
+    result = run_campaign(spec, runner=runner)
+    print(f"fault campaign: seed={spec.seed}, {spec.trials} trials/cell, "
+          f"{spec.rows}x{spec.cols} TBS @ {spec.sparsity:.0%}, checks={spec.check_level}")
+    print(render_campaign(result))
+    if runner is not None:
+        print(f"[repro] {runner.summary()}")
+
+    if ecc.enabled:
+        _print_ecc_overheads(spec, ecc)
+    return 0
+
+
+def _print_ecc_overheads(spec, ecc) -> None:
+    """What the protection costs: check-bit traffic + ECC energy on a
+    reference TB-STC layer of the campaign's shape."""
+    from .core.patterns import PatternFamily
+    from .hw.config import tb_stc
+    from .sim.engine import simulate
+    from .workloads.generator import build_workload
+    from .workloads.layers import LayerSpec
+
+    layer = LayerSpec("ecc-ref", spec.rows, spec.cols, spec.cols)
+    workload = build_workload(layer, PatternFamily.TBS, spec.sparsity, seed=spec.seed, m=spec.m)
+    result = simulate(tb_stc().with_ecc(ecc.mode), workload)
+    meta = result.breakdown["meta_bytes"]
+    extra = result.breakdown["ecc_bytes"]
+    ecc_pj = result.energy.components.get("ecc", 0.0)
+    print(f"ecc overhead on {layer.rows}x{layer.cols} reference layer: "
+          f"+{extra:.0f} B check bits on {meta:.0f} B metadata "
+          f"({extra / meta:.1%} of metadata, "
+          f"{extra / max(1.0, result.dram_bytes):.3%} of total traffic), "
+          f"+{ecc_pj:.2f} pJ ECC energy")
+
+
 def _dispatch(args) -> int:
     if args.command == "report":
         return _run_report(args)
@@ -281,6 +386,8 @@ def _dispatch(args) -> int:
         return _run_prune(args)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "faults":
+        return _run_faults(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

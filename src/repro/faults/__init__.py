@@ -1,0 +1,65 @@
+"""Deterministic fault injection, ECC modeling and SDC campaigns.
+
+TB-STC's correctness rests on compressed metadata (DDC Info words, CSR
+row pointers, occupancy bitmaps, SDC validity flags) decoding back into
+exactly the mask the DVPE computes with; one flipped bit silently
+reshapes the GEMM.  This package stresses that trust boundary:
+
+* :mod:`~repro.faults.injectors` -- seeded bit flips in encoded
+  payloads, stuck-at mask faults, DRAM transaction perturbation,
+  checkpoint-file corruption;
+* :mod:`~repro.faults.ecc`       -- parity / SECDED protection model for
+  metadata words, with storage and energy overheads that flow into the
+  traffic and energy reports;
+* :mod:`~repro.faults.campaign`  -- reproducible Monte-Carlo campaigns
+  classifying each injection as benign / corrected / detected /
+  uncorrected / silent, per (format, fault model) cell.
+"""
+
+from .campaign import (
+    CLASSES,
+    FAULT_MODELS,
+    CampaignResult,
+    CampaignSpec,
+    CellOutcome,
+    classify_decode,
+    render_campaign,
+    run_campaign,
+    run_cell,
+    run_trial,
+)
+from .ecc import ECC_MODES, ECCConfig, adjudicate, ecc_overhead_bytes, ecc_words
+from .injectors import (
+    FAULT_TARGETS,
+    BitFlip,
+    InjectionRecord,
+    corrupt_file,
+    inject_mask_stuck_at,
+    inject_payload_bitflips,
+    payload_targets,
+)
+
+__all__ = [
+    "CLASSES",
+    "ECC_MODES",
+    "FAULT_MODELS",
+    "FAULT_TARGETS",
+    "BitFlip",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellOutcome",
+    "ECCConfig",
+    "InjectionRecord",
+    "adjudicate",
+    "classify_decode",
+    "corrupt_file",
+    "ecc_overhead_bytes",
+    "ecc_words",
+    "inject_mask_stuck_at",
+    "inject_payload_bitflips",
+    "payload_targets",
+    "render_campaign",
+    "run_campaign",
+    "run_cell",
+    "run_trial",
+]

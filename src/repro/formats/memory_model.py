@@ -43,6 +43,9 @@ class TrafficReport:
     fetched_bytes: int
     num_bursts: int
     num_segments: int
+    #: Check-bit bytes travelling with protected metadata (0 when the
+    #: architecture runs unprotected; see :mod:`repro.faults.ecc`).
+    ecc_bytes: int = 0
 
     @property
     def bandwidth_utilization(self) -> float:
@@ -101,8 +104,15 @@ def traffic_report(
     encoded: EncodedMatrix,
     burst_bytes: int = DEFAULT_BURST_BYTES,
     m: int = 8,
+    ecc=None,
 ) -> TrafficReport:
-    """Analyse one encoded matrix's consumption trace."""
+    """Analyse one encoded matrix's consumption trace.
+
+    ``ecc`` (an :class:`repro.faults.ecc.ECCConfig`) charges the
+    metadata check bits as extra fetched traffic: protection is not
+    free, and the protected-vs-unprotected delta is exactly what the
+    fault campaigns trade against their coverage numbers.
+    """
     if burst_bytes < 1:
         raise ValueError(f"burst_bytes must be positive, got {burst_bytes}")
     window = _MERGE_WINDOW.get(encoded.format_name)
@@ -118,12 +128,22 @@ def traffic_report(
         num_bursts += bursts
         fetched += bursts * burst_bytes
     useful = useful_bytes_floor(encoded, m=m)
+    ecc_bytes = 0
+    if ecc is not None and getattr(ecc, "enabled", False):
+        from ..faults.ecc import ecc_overhead_bytes
+
+        ecc_bytes = ecc_overhead_bytes(encoded.meta_bytes, ecc)
+        if ecc_bytes:
+            extra_bursts = -(-ecc_bytes // burst_bytes)
+            num_bursts += extra_bursts
+            fetched += extra_bursts * burst_bytes
     return TrafficReport(
         format_name=encoded.format_name,
         useful_bytes=useful,
         fetched_bytes=fetched,
         num_bursts=num_bursts,
         num_segments=len(merged),
+        ecc_bytes=ecc_bytes,
     )
 
 

@@ -69,12 +69,19 @@ class ArchConfig:
     alternate_buffer_depth: int = 8
     #: Scheduler lookahead (blocks fetched per cycle is 2 per Fig. 11(b)).
     scheduler_window: int = 8
+    #: Metadata protection: 'none' | 'parity' | 'secded'.  Protected
+    #: variants pay check-bit traffic and ECC-logic energy (see
+    #: repro.faults.ecc) in exchange for fault-campaign coverage, making
+    #: reliability another explorable architecture axis.
+    metadata_ecc: str = "none"
 
     def __post_init__(self) -> None:
         if self.num_pe_arrays < 1 or self.pes_per_array < 1 or self.lanes_per_pe < 1:
             raise ValueError("fabric dimensions must be positive")
         if self.frequency_ghz <= 0 or self.dram_bandwidth_gbs <= 0:
             raise ValueError("frequency and bandwidth must be positive")
+        if self.metadata_ecc not in ("none", "parity", "secded"):
+            raise ValueError(f"metadata_ecc must be none/parity/secded, got {self.metadata_ecc!r}")
 
     @property
     def num_pes(self) -> int:
@@ -96,6 +103,11 @@ class ArchConfig:
     def with_bandwidth(self, gbs: float) -> "ArchConfig":
         """Copy with a different off-chip bandwidth (Fig. 15(c) sweep)."""
         return replace(self, dram_bandwidth_gbs=gbs)
+
+    def with_ecc(self, mode: str) -> "ArchConfig":
+        """Copy with a different metadata-protection mode."""
+        return replace(self, name=f"{self.name}+{mode}" if mode != "none" else self.name,
+                       metadata_ecc=mode)
 
 
 def tb_stc(**overrides) -> ArchConfig:

@@ -16,11 +16,21 @@ simplified to per-burst activation plus per-byte transfer costs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
+import numpy as np
+
+from ..formats.base import Segment
 from ..formats.memory_model import TrafficReport
 
-__all__ = ["DRAMModel", "DRAMResult"]
+__all__ = [
+    "DRAMModel",
+    "DRAMResult",
+    "TransactionFaultModel",
+    "PerturbedTrace",
+    "perturb_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -82,3 +92,96 @@ class DRAMModel:
         """Transfer an encoded matrix given its traffic analysis."""
         contiguous = report.num_segments <= max(1, report.num_bursts // 8)
         return self.transfer(report.fetched_bytes, report.num_bursts, contiguous)
+
+
+# ---------------------------------------------------------------------------
+# Transaction-level fault injection (repro.faults campaigns)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransactionFaultModel:
+    """Per-transaction fault probabilities for a consumption trace.
+
+    ``p_drop``     -- the transaction never completes (its bytes are
+                      missing; a DMA byte counter catches the shortfall);
+    ``p_duplicate``-- the transaction is replayed (data intact, but the
+                      bus carries it twice -- pure bandwidth/energy waste);
+    ``p_corrupt``  -- the transaction completes with flipped payload bits
+                      (in-flight corruption past any storage-side ECC).
+    """
+
+    p_drop: float = 0.0
+    p_duplicate: float = 0.0
+    p_corrupt: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_drop", "p_duplicate", "p_corrupt"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+
+@dataclass
+class PerturbedTrace:
+    """A consumption trace after transaction faults were applied."""
+
+    segments: List[Segment] = field(default_factory=list)
+    dropped: List[Segment] = field(default_factory=list)
+    duplicated: List[Segment] = field(default_factory=list)
+    corrupted: List[Segment] = field(default_factory=list)
+
+    @property
+    def delivered_bytes(self) -> int:
+        return sum(seg.nbytes for seg in self.segments)
+
+    @property
+    def missing_bytes(self) -> int:
+        return sum(seg.nbytes for seg in self.dropped)
+
+    def length_check_fails(self, expected_bytes: int) -> bool:
+        """Would a DMA byte-counter check flag this transfer?
+
+        Duplicates overwrite their own buffer region, so only *missing*
+        bytes trip the counter -- exactly like real descriptor-completion
+        accounting.
+        """
+        return self.delivered_bytes - sum(s.nbytes for s in self.duplicated) != expected_bytes
+
+
+def perturb_trace(
+    segments: Sequence[Segment],
+    model: TransactionFaultModel,
+    rng: np.random.Generator,
+) -> PerturbedTrace:
+    """Apply transaction faults to a trace, deterministically from ``rng``.
+
+    Each segment (one DRAM transaction in the analytic model) draws one
+    uniform variate; the fault kinds partition ``[0, p_drop + p_dup +
+    p_corrupt)``.  Dropped segments vanish from the replayed trace;
+    duplicated ones appear twice back-to-back (the retry); corrupted
+    ones stay in place but are reported so the caller can garble the
+    matching payload bytes.
+    """
+    out = PerturbedTrace()
+    thresholds = (
+        model.p_drop,
+        model.p_drop + model.p_duplicate,
+        model.p_drop + model.p_duplicate + model.p_corrupt,
+    )
+    if thresholds[-1] > 1.0:
+        raise ValueError("fault probabilities sum past 1.0")
+    for seg in segments:
+        u = float(rng.random())
+        if u < thresholds[0]:
+            out.dropped.append(seg)
+        elif u < thresholds[1]:
+            out.segments.append(seg)
+            out.segments.append(seg)
+            out.duplicated.append(seg)
+        elif u < thresholds[2]:
+            out.segments.append(seg)
+            out.corrupted.append(seg)
+        else:
+            out.segments.append(seg)
+    return out

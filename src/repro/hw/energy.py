@@ -49,6 +49,9 @@ class EnergyParams:
     codec_elem_pj: float = 0.137
     #: MBD: 0.69 mW at 1 GHz selecting ~16 B-elements/cycle -> 0.043 pJ.
     mbd_elem_pj: float = 0.043
+    #: SECDED/parity encode+check per protected metadata word (a ~20-gate
+    #: XOR tree at 7 nm; charged once per word moved through the buffer).
+    ecc_word_pj: float = 0.02
     #: On-chip SRAM access energy per byte (7 nm, ~192 KB buffer).
     sram_byte_pj: float = 0.4
     #: Off-chip DRAM energy per byte (HBM/LPDDR5-class, I/O + core).
@@ -109,15 +112,17 @@ class EnergyModel:
         sram_bytes: float,
         codec_elements: int = 0,
         mbd_elements: int = 0,
+        ecc_words: int = 0,
     ) -> EnergyReport:
         """Energy of one workload execution.
 
         ``macs`` counts real multiply-accumulates (the datapath scale of
         the config captures gather/union/FAN overhead per MAC);
         ``codec_elements`` / ``mbd_elements`` count elements passing
-        through those units.
+        through those units; ``ecc_words`` counts protected metadata
+        words encoded+checked when the architecture runs with ECC.
         """
-        if min(cycles, macs) < 0 or min(dram_bytes, sram_bytes) < 0:
+        if min(cycles, macs) < 0 or min(dram_bytes, sram_bytes) < 0 or ecc_words < 0:
             raise ValueError("negative activity counts")
         p = self.params
         report = EnergyReport(cycles=cycles, frequency_ghz=self.config.frequency_ghz)
@@ -128,6 +133,8 @@ class EnergyModel:
             report.add("codec", codec_elements * p.codec_elem_pj)
         if self.config.has_mbd and mbd_elements:
             report.add("mbd", mbd_elements * p.mbd_elem_pj)
+        if ecc_words:
+            report.add("ecc", ecc_words * p.ecc_word_pj)
         report.add("static", p.static_mw * 1e-3 * report.time_s * 1e12)
         return report
 

@@ -17,10 +17,35 @@ slots.  We model both policies event-driven:
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["Assignment", "ScheduleResult", "schedule_direct", "schedule_sparsity_aware"]
+__all__ = [
+    "Assignment",
+    "ScheduleResult",
+    "SimStallError",
+    "schedule_direct",
+    "schedule_sparsity_aware",
+]
+
+
+class SimStallError(RuntimeError):
+    """The scheduler or simulator stopped making forward progress.
+
+    Raised instead of spinning when a malformed block list (corrupted
+    descriptor stream, lying length, non-finite costs) would otherwise
+    hang the event loop, or when a simulation blows through its cycle
+    budget.  ``state`` carries a diagnostic snapshot (cursors, pending
+    blocks, buffer contents) so the stall is debuggable post-mortem.
+    """
+
+    def __init__(self, message: str, state: Optional[dict] = None):
+        self.state = dict(state or {})
+        if self.state:
+            detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.state.items()))
+            message = f"{message} [{detail}]"
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -57,8 +82,15 @@ class ScheduleResult:
 def _validate(costs: Sequence[int], num_pes: int) -> None:
     if num_pes < 1:
         raise ValueError("need at least one PE")
-    if any(c < 0 for c in costs):
-        raise ValueError("block costs must be non-negative")
+    # Bounded by a length snapshot: a malformed sequence whose __len__
+    # grows (a corrupted descriptor stream) must not turn validation
+    # into an infinite scan.
+    for i in range(len(costs)):
+        c = costs[i]
+        if not math.isfinite(c):
+            raise ValueError(f"block cost {i} is not finite: {c!r}")
+        if c < 0:
+            raise ValueError("block costs must be non-negative")
 
 
 def schedule_direct(
@@ -109,24 +141,51 @@ def schedule_sparsity_aware(
     _validate(costs, num_pes)
     if window < 1 or fetch_per_cycle < 1:
         raise ValueError("window and fetch rate must be positive")
-    pending = list(costs)
+    pending = costs
+    # Snapshot the block count once: every bound below uses it, so even
+    # a sequence whose __len__ drifts (corrupted block list) terminates.
+    n_blocks = len(pending)
     buffer: List[Tuple[float, int]] = []  # (cost, block_id)
     heap = [(0, pe) for pe in range(num_pes)]  # (free_time, pe)
     heapq.heapify(heap)
     busy = [0] * num_pes
     fetch_cursor = 0
+    dispatched = 0
     assignments: List[Assignment] = []
+
+    def _stall_state() -> dict:
+        return {
+            "fetch_cursor": fetch_cursor,
+            "dispatched": dispatched,
+            "n_blocks": n_blocks,
+            "claimed_len": len(pending),
+            "window": window,
+            "buffer": buffer[:8],
+        }
 
     while fetch_cursor < len(pending) or buffer:
         # Refill the window (bounded fetch bandwidth is folded into the
         # window bound: at 2 blocks/cycle the buffer never starves for
         # blocks costing >= 1 cycle).
-        while fetch_cursor < len(pending) and len(buffer) < window:
+        while fetch_cursor < min(len(pending), n_blocks) and len(buffer) < window:
             buffer.append((pending[fetch_cursor], fetch_cursor))
             fetch_cursor += 1
+        # Progress guard: every outer iteration must dispatch exactly one
+        # of the n_blocks blocks; anything else is a stalled or corrupted
+        # stream, and spinning here would hang the whole report pipeline.
+        if not buffer:
+            raise SimStallError(
+                "scheduler fetch stage made no progress", state=_stall_state()
+            )
+        if dispatched >= n_blocks:
+            raise SimStallError(
+                "scheduler dispatched every block but the stream claims more pending",
+                state=_stall_state(),
+            )
         # Dispatch the heaviest visible block to the earliest-free PE.
         buffer.sort(reverse=True)
         cost, block_id = buffer.pop(0)
+        dispatched += 1
         free_time, pe = heapq.heappop(heap)
         heapq.heappush(heap, (free_time + cost, pe))
         busy[pe] += cost
@@ -134,5 +193,5 @@ def schedule_sparsity_aware(
             assignments.append(Assignment(block_id, pe, free_time, free_time + cost))
 
     makespan = max(t for t, _ in heap) if heap else 0
-    total = sum(costs)
+    total = sum(pending[i] for i in range(n_blocks))
     return ScheduleResult(makespan, total, num_pes, tuple(busy), tuple(assignments))

@@ -26,7 +26,9 @@ from .checks import (
     check_mask,
     check_workload,
     get_check_level,
+    reset_warning_counts,
     set_check_level,
+    warning_counts,
 )
 from .runner import CellResult, ExperimentRunner
 from .state import (
@@ -54,6 +56,8 @@ __all__ = [
     "check_mask",
     "check_workload",
     "get_check_level",
+    "reset_warning_counts",
     "restore_train_state",
     "set_check_level",
+    "warning_counts",
 ]

@@ -113,9 +113,16 @@ class CheckpointStore:
             with np.load(path, allow_pickle=False) as npz:
                 arrays = {k: npz[k] for k in npz.files if k != _META_KEY}
                 meta_json = str(npz[_META_KEY])
-        except (OSError, ValueError, KeyError) as exc:
+            meta = json.loads(meta_json)
+        except CheckpointError:
+            raise
+        # Corruption surfaces as many exception types (BadZipFile and
+        # zlib.error from garbled bytes, OSError from truncation, KeyError
+        # from a missing meta entry, JSONDecodeError from garbled meta);
+        # all of them mean the same thing: this snapshot is unusable and
+        # ``latest`` should fall back to an older one.
+        except Exception as exc:  # noqa: BLE001
             raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
-        meta = json.loads(meta_json)
         state = TrainState(epoch=int(meta["epoch"]), arrays=arrays, meta=meta)
         if verify and match:
             digest = _payload_digest(state, json.dumps(meta, sort_keys=True))[:12]

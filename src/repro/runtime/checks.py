@@ -22,7 +22,7 @@ from __future__ import annotations
 import contextlib
 import os
 import warnings
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
@@ -39,6 +39,8 @@ __all__ = [
     "check_mask",
     "check_workload",
     "check_format_roundtrip",
+    "warning_counts",
+    "reset_warning_counts",
 ]
 
 CHECK_LEVELS = ("off", "warn", "strict")
@@ -61,9 +63,14 @@ def _validate_level(level: str) -> str:
 
 
 def set_check_level(level: Optional[str]) -> None:
-    """Set the global strictness; ``None`` defers to ``$REPRO_CHECKS``."""
+    """Set the global strictness; ``None`` defers to ``$REPRO_CHECKS``.
+
+    Also resets the warn-mode dedup state: a new strictness regime
+    starts with a clean slate of "already warned" call sites.
+    """
     global _level
     _level = None if level is None else _validate_level(level)
+    _warn_seen.clear()
 
 
 def get_check_level(override: Optional[str] = None) -> str:
@@ -87,9 +94,34 @@ def check_level(level: str) -> Iterator[None]:
         _level = previous
 
 
-def _report_violation(message: str, level: str) -> None:
+#: Warn-mode dedup: call-site key -> number of violations observed.
+#: A sweep that trips the same invariant at the same site thousands of
+#: times emits ONE warning; the rest are tallied for ``warning_counts``.
+_warn_seen: Dict[str, int] = {}
+
+
+def warning_counts() -> Dict[str, int]:
+    """Violations tallied per call site since the last reset.
+
+    The value counts *every* violation at that site, including the one
+    that actually warned; ``count - 1`` warnings were suppressed.
+    """
+    return dict(_warn_seen)
+
+
+def reset_warning_counts() -> None:
+    """Forget which call sites have already warned (see ``warning_counts``)."""
+    _warn_seen.clear()
+
+
+def _report_violation(message: str, level: str, site: Optional[str] = None) -> None:
     if level == "strict":
         raise InvariantError(message)
+    if site is not None:
+        _warn_seen[site] = _warn_seen.get(site, 0) + 1
+        if _warn_seen[site] > 1:
+            return  # already warned for this site; keep the tally only
+        message = f"{message} (further {site!r} violations are counted, not re-warned)"
     warnings.warn(message, InvariantWarning, stacklevel=3)
 
 
@@ -118,7 +150,11 @@ def check_mask(
     if report.ok:
         return True
     where = f" [{context}]" if context else ""
-    _report_violation(f"mask invariant violated{where}: {report.summary()}", level)
+    _report_violation(
+        f"mask invariant violated{where}: {report.summary()}",
+        level,
+        site=f"mask:{context}" if context else None,
+    )
     return False
 
 
@@ -165,7 +201,11 @@ def check_format_roundtrip(
         decoded = fmt.decode(encoded)
     except Exception as exc:  # noqa: BLE001 - converted into the invariant report
         where = f" [{context}]" if context else ""
-        _report_violation(f"format {fmt.name!r} round-trip crashed{where}: {exc}", level)
+        _report_violation(
+            f"format {fmt.name!r} round-trip crashed{where}: {exc}",
+            level,
+            site=f"roundtrip:{fmt.name}:{context}" if context else None,
+        )
         return False
     if decoded.shape != expected.shape or not np.array_equal(decoded, expected):
         where = f" [{context}]" if context else ""
@@ -175,6 +215,7 @@ def check_format_roundtrip(
             f"{bad if bad >= 0 else 'shape'} differing elements "
             f"({decoded.shape} vs {expected.shape})",
             level,
+            site=f"roundtrip:{fmt.name}:{context}" if context else None,
         )
         return False
     return True

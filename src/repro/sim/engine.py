@@ -44,7 +44,7 @@ from ..hw.dram import DRAMModel
 from ..hw.dvpe import DVPE
 from ..hw.energy import EnergyModel, EnergyParams
 from ..hw.mapping import BlockWork
-from ..hw.scheduler import schedule_direct, schedule_sparsity_aware
+from ..hw.scheduler import SimStallError, schedule_direct, schedule_sparsity_aware
 from ..runtime.checks import check_format_roundtrip, check_workload, get_check_level
 from ..workloads.generator import GEMMWorkload
 from .metrics import SimResult
@@ -179,12 +179,14 @@ def _memory_cycles_and_bytes(
     config: ArchConfig,
     dram: DRAMModel,
     weight_bits: int = 16,
+    ecc=None,
 ) -> Tuple[int, float, Dict[str, float]]:
     """DRAM cycles and traffic for the A, B and D tensors.
 
     ``weight_bits`` < 16 models quantized weights (Fig. 15(b)): the A
     value payload shrinks proportionally while indices/metadata and the
-    activation operands stay FP16.
+    activation operands stay FP16.  ``ecc`` charges metadata check-bit
+    traffic when the architecture protects its metadata.
     """
     if config.storage_format == "sdc":
         # Hardware SDC (VEGETA/STC row groups) aligns within M-row groups
@@ -197,7 +199,7 @@ def _memory_cycles_and_bytes(
         tbs=workload.tbs if config.storage_format == "ddc" else None,
         block_size=workload.m,
     )
-    report = traffic_report(encoded, burst_bytes=config.burst_bytes, m=workload.m)
+    report = traffic_report(encoded, burst_bytes=config.burst_bytes, m=workload.m, ecc=ecc)
     a_res = dram.transfer_report(report)
     if weight_bits != 16:
         if not 2 <= weight_bits <= 16:
@@ -233,6 +235,8 @@ def _memory_cycles_and_bytes(
         "d_bytes": float(d_bytes),
         "a_cycles": float(a_res.cycles),
         "bandwidth_utilization": report.bandwidth_utilization,
+        "meta_bytes": float(encoded.meta_bytes),
+        "ecc_bytes": float(report.ecc_bytes),
     }
     return cycles, total_bytes, detail
 
@@ -243,12 +247,29 @@ def simulate(
     energy_params: Optional[EnergyParams] = None,
     row_overhead_cycles: float = 0.0,
     weight_bits: int = 16,
+    ecc=None,
+    fault: Optional[str] = None,
+    fault_seed: int = 0,
+    cycle_budget: Optional[int] = None,
 ) -> SimResult:
     """Execute one sparse GEMM on one architecture.
 
     ``row_overhead_cycles`` models per-non-empty-row processing overhead
     of CSR-style machines (used by the SGCN baseline);
     ``weight_bits`` < 16 models quantized weights (Fig. 15(b)).
+
+    Robustness knobs:
+
+    * ``ecc`` (an :class:`repro.faults.ecc.ECCConfig`) protects the
+      storage format's metadata; when None, ``config.metadata_ecc``
+      decides.  Protection charges check-bit traffic and ECC energy.
+    * ``fault`` injects one seeded bit flip into the encoded A operand
+      (``'values'`` | ``'indices'`` | ``'metadata'``) and classifies the
+      outcome under the ambient :mod:`repro.runtime.checks` level; the
+      class lands in ``SimResult.fault_classification``.  Timing is
+      reported for the fault-free execution.
+    * ``cycle_budget`` raises :class:`~repro.hw.scheduler.SimStallError`
+      if the modeled execution exceeds it -- a runaway guard for sweeps.
 
     When invariant checking is on (:mod:`repro.runtime.checks`), the
     workload mask is validated against its declared pattern family, and
@@ -267,6 +288,11 @@ def simulate(
                 block_size=workload.m,
                 context=f"simulate:{workload.name}",
             )
+    if ecc is None and config.metadata_ecc != "none":
+        from ..faults.ecc import ECCConfig
+
+        ecc = ECCConfig(mode=config.metadata_ecc)
+    fault_classification = _classify_fault(config, workload, fault, fault_seed, ecc)
     params = energy_params or EnergyParams()
     row_counts, dirs = block_segments(workload, config)
     costs = _block_costs(row_counts, config, row_overhead=row_overhead_cycles)
@@ -294,7 +320,7 @@ def simulate(
         byte_pj=params.dram_byte_pj,
     )
     memory_cycles, dram_bytes, mem_detail = _memory_cycles_and_bytes(
-        workload, config, dram, weight_bits=weight_bits
+        workload, config, dram, weight_bits=weight_bits, ecc=ecc
     )
 
     codec_visible, codec_elements = _codec_visible_and_elements(
@@ -306,6 +332,18 @@ def simulate(
     )
 
     total_cycles = max(compute_cycles, memory_cycles) + codec_visible + PIPELINE_FILL_CYCLES
+    if cycle_budget is not None and total_cycles > cycle_budget:
+        raise SimStallError(
+            f"simulation of {workload.name!r} on {config.name!r} exceeded its cycle budget",
+            state={
+                "total_cycles": total_cycles,
+                "cycle_budget": cycle_budget,
+                "compute_cycles": compute_cycles,
+                "memory_cycles": memory_cycles,
+                "codec_visible": codec_visible,
+                "n_blocks": n_blocks,
+            },
+        )
 
     # --- energy ---
     if config.storage_format == "dense":
@@ -314,6 +352,11 @@ def simulate(
         macs = int(row_counts.sum()) * k  # padded slots are real work too
     mbd_elements = workload.nnz * k if config.has_mbd else 0
     sram_bytes = 2.0 * dram_bytes  # buffer fill + drain
+    n_ecc_words = 0
+    if ecc is not None and getattr(ecc, "enabled", False):
+        from ..faults.ecc import ecc_words
+
+        n_ecc_words = ecc_words(mem_detail["meta_bytes"], ecc)
     energy = EnergyModel(config, params).report(
         cycles=total_cycles,
         macs=macs,
@@ -321,6 +364,7 @@ def simulate(
         sram_bytes=sram_bytes,
         codec_elements=codec_elements,
         mbd_elements=mbd_elements,
+        ecc_words=n_ecc_words,
     )
 
     peak = config.peak_macs_per_cycle
@@ -349,4 +393,47 @@ def simulate(
         bandwidth_utilization=mem_detail["bandwidth_utilization"],
         frequency_ghz=config.frequency_ghz,
         breakdown=breakdown,
+        fault_classification=fault_classification,
+    )
+
+
+def _classify_fault(
+    config: ArchConfig,
+    workload: GEMMWorkload,
+    fault: Optional[str],
+    fault_seed: int,
+    ecc,
+) -> Optional[str]:
+    """Inject one seeded flip into the encoded A operand and classify it.
+
+    The classification runs under the ambient check level: with checks
+    ``off`` only decode crashes are caught, so coverage numbers directly
+    reflect how much the invariant layer buys.  Returns None when no
+    fault was requested or the format has no such target.
+    """
+    if fault is None:
+        return None
+    from ..core.patterns import PatternSpec
+    from ..faults import classify_decode, inject_payload_bitflips, payload_targets
+
+    fmt_name = config.storage_format
+    if fmt_name not in _FORMATS or fault not in payload_targets(fmt_name):
+        return None
+    fmt = SDCFormat(group_rows=workload.m) if fmt_name == "sdc" else _FORMATS[fmt_name]()
+    encoded = fmt.encode(
+        workload.sparse_values,
+        tbs=workload.tbs if fmt_name == "ddc" else None,
+        block_size=workload.m,
+    )
+    rng = np.random.default_rng([fault_seed, list(_FORMATS).index(fmt_name)])
+    record = inject_payload_bitflips(encoded, fault, rng)
+    if not record.injected:
+        return None
+    pattern_spec = None
+    if workload.family is not PatternFamily.US:
+        pattern_spec = PatternSpec(
+            workload.family, m=workload.m, sparsity=min(1.0, max(0.0, workload.sparsity))
+        )
+    return classify_decode(
+        fmt, encoded, workload.sparse_values, record, ecc=ecc, pattern_spec=pattern_spec
     )

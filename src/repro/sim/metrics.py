@@ -27,6 +27,10 @@ class SimResult:
     bandwidth_utilization: float
     frequency_ghz: float = 1.0
     breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Outcome of the optional per-run fault injection (see
+    #: ``sim.engine.simulate``'s ``fault`` parameter): one of
+    #: ``repro.faults.CLASSES``, or None when no fault was injected.
+    fault_classification: Optional[str] = None
 
     @property
     def time_s(self) -> float:

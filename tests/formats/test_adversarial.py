@@ -87,3 +87,79 @@ class TestAdversarialMasks:
         res = tbs_sparsify(values, m=8, sparsity=0.97)
         enc = fmt.encode(values * res.mask, tbs=res if fmt.name == "ddc" else None)
         np.testing.assert_allclose(fmt.decode(enc), values * res.mask)
+
+
+class TestBitflipFuzz:
+    """Seeded fuzz sweep: random masks x all formats x single-bit flips.
+
+    Every flipped encoding must land in exactly one of the campaign's
+    outcome classes -- round-trip bit-exactly after revert (the flip is
+    involutive), decode to the truth (benign), be caught (detected /
+    uncorrected), or differ knowingly (silent).  What is *never* allowed
+    is an encoding that decodes to a different matrix while the
+    classifier calls it benign or corrected: that would be an
+    unclassified silent corruption, the exact bug class this sweep
+    exists to catch.
+    """
+
+    SWEEP_SEEDS = range(8)
+
+    def _sweep_case(self, seed):
+        rng = np.random.default_rng([2024, seed])
+        rows = int(rng.integers(2, 5)) * 8
+        cols = int(rng.integers(2, 5)) * 8
+        values = rng.normal(size=(rows, cols))
+        values[values == 0] = 1.0
+        mask = rng.random((rows, cols)) < float(rng.uniform(0.1, 0.9))
+        return values, mask, rng
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_flips_never_decode_unclassified(self, seed):
+        from repro.faults import classify_decode, inject_payload_bitflips, payload_targets
+
+        values, mask, rng = self._sweep_case(seed)
+        expected = np.where(mask, values, 0.0)
+        for fmt in ALL_FORMATS:
+            for target in payload_targets(fmt.name):
+                encoded = fmt.encode(values, mask=mask)
+                record = inject_payload_bitflips(encoded, target, rng)
+                if not record.injected:
+                    continue
+                outcome = classify_decode(fmt, encoded, expected, record, level="warn")
+                try:
+                    decoded = fmt.decode(encoded)
+                except Exception:
+                    decoded = None  # crash: must have been classified loud
+                if decoded is not None and decoded.shape == expected.shape and np.array_equal(
+                    decoded, expected
+                ):
+                    # Decode matches the truth: only clean classes allowed.
+                    assert outcome in ("benign", "corrected"), (fmt.name, target, outcome)
+                else:
+                    # Decode differs (or crashed): never a clean class.
+                    assert outcome in ("detected", "uncorrected", "silent"), (
+                        fmt.name, target, outcome,
+                    )
+
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_revert_restores_roundtrip(self, seed):
+        from repro.faults import inject_payload_bitflips, payload_targets
+
+        values, mask, rng = self._sweep_case(seed)
+        expected = np.where(mask, values, 0.0)
+        for fmt in ALL_FORMATS:
+            for target in payload_targets(fmt.name):
+                encoded = fmt.encode(values, mask=mask)
+                record = inject_payload_bitflips(encoded, target, rng, nbits=2)
+                record.revert(encoded)
+                np.testing.assert_array_equal(fmt.decode(encoded), expected)
+
+    def test_sweep_is_deterministic(self):
+        from repro.faults import inject_payload_bitflips
+
+        flips = []
+        for _ in range(2):
+            values, mask, rng = self._sweep_case(0)
+            encoded = CSRFormat().encode(values, mask=mask)
+            flips.append(inject_payload_bitflips(encoded, "indices", rng).flips)
+        assert flips[0] == flips[1]

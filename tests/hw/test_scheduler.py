@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hw.scheduler import schedule_direct, schedule_sparsity_aware
+from repro.hw.scheduler import SimStallError, schedule_direct, schedule_sparsity_aware
 
 
 class TestDirect:
@@ -97,3 +97,55 @@ class TestSparsityAware:
         assert aware.makespan >= max(costs, default=0)
         assert aware.makespan >= -(-total // pes)
         assert aware.makespan <= schedule_direct(costs, pes).makespan
+
+
+class _GrowingStream:
+    """A corrupted block list whose claimed length keeps growing.
+
+    Models a garbled descriptor stream: ``__len__`` always reports more
+    blocks than have been read, so any loop trusting it live would never
+    terminate.  The no-progress guard must turn this into a loud
+    SimStallError instead of a hang.
+    """
+
+    def __init__(self, real=4):
+        self.real = real
+        self.reads = 0
+
+    def __len__(self):
+        return self.real + self.reads + 1  # always claims one more
+
+    def __getitem__(self, i):
+        self.reads += 1
+        return 1
+
+
+class TestStallGuards:
+    def test_growing_stream_raises_instead_of_hanging(self):
+        # The fetch stage stops at its length snapshot, the stream still
+        # claims more blocks, the buffer drains: a detected stall, not a
+        # spin.
+        with pytest.raises(SimStallError, match="no progress"):
+            schedule_sparsity_aware(_GrowingStream(real=4), 2)
+
+    def test_stall_error_carries_diagnostic_state(self):
+        with pytest.raises(SimStallError) as excinfo:
+            schedule_sparsity_aware(_GrowingStream(real=4), 2)
+        state = excinfo.value.state
+        # The snapshot names the cursors a post-mortem needs.
+        assert state["dispatched"] == state["n_blocks"]
+        assert state["claimed_len"] > state["n_blocks"]
+        assert "fetch_cursor" in state and "buffer" in state
+        # And the message embeds it for bare tracebacks.
+        assert "n_blocks=" in str(excinfo.value)
+
+    def test_nan_cost_rejected_before_scheduling(self):
+        with pytest.raises(ValueError, match="not finite"):
+            schedule_sparsity_aware([1, float("nan"), 2], 2)
+        with pytest.raises(ValueError, match="not finite"):
+            schedule_direct([float("inf")], 1)
+
+    def test_honest_sequences_unaffected(self):
+        """The guards must not change any well-formed schedule."""
+        res = schedule_sparsity_aware([4, 1, 4, 1], 2)
+        assert res.makespan == 5 and res.total_work == 10

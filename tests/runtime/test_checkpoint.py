@@ -82,6 +82,30 @@ class TestLatest:
         latest = store.latest()
         assert latest is not None and latest.epoch == 1
 
+    def test_bit_rot_in_newest_falls_back_to_previous(self, tmp_path):
+        """Seeded byte flips mid-file (still a plausible zip!) must raise
+        CheckpointError on load and make latest() serve the prior epoch."""
+        from repro.faults.injectors import corrupt_file
+
+        store = CheckpointStore(tmp_path)
+        store.save(_state(epoch=1))
+        newest = store.save(_state(epoch=2, value=9.0))
+        corrupt_file(newest, np.random.default_rng(0), mode="flip", nbytes=16)
+        with pytest.raises(CheckpointError):
+            store.load(newest)
+        latest = store.latest()
+        assert latest is not None and latest.epoch == 1
+
+    def test_truncated_newest_falls_back(self, tmp_path):
+        from repro.faults.injectors import corrupt_file
+
+        store = CheckpointStore(tmp_path)
+        store.save(_state(epoch=3))
+        newest = store.save(_state(epoch=5, value=2.0))
+        corrupt_file(newest, np.random.default_rng(1), mode="truncate")
+        latest = store.latest()
+        assert latest is not None and latest.epoch == 3
+
     def test_ignores_foreign_files(self, tmp_path):
         (tmp_path / "notes.txt").write_text("hello")
         store = CheckpointStore(tmp_path)

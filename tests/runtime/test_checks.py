@@ -13,7 +13,9 @@ from repro.runtime.checks import (
     check_mask,
     check_workload,
     get_check_level,
+    reset_warning_counts,
     set_check_level,
+    warning_counts,
 )
 
 # Lower-triangular 4x4: row counts {1,2,3,4}, col counts {1,2,3,4} --
@@ -86,6 +88,64 @@ class TestCheckMask:
         set_check_level("strict")
         with pytest.raises(InvariantError):
             check_mask(BAD_TBS, SPEC)
+
+
+class TestWarnDedup:
+    def test_repeat_violations_warn_once_per_site(self):
+        """A sweep tripping the same invariant at the same call site
+        emits ONE warning; the rest are tallied."""
+        with pytest.warns(InvariantWarning) as caught:
+            for _ in range(5):
+                check_mask(BAD_TBS, SPEC, context="layer 3", level="warn")
+        assert len(caught) == 1
+        assert warning_counts() == {"mask:layer 3": 5}
+
+    def test_distinct_sites_each_warn(self):
+        with pytest.warns(InvariantWarning) as caught:
+            check_mask(BAD_TBS, SPEC, context="layer 1", level="warn")
+            check_mask(BAD_TBS, SPEC, context="layer 2", level="warn")
+        assert len(caught) == 2
+        assert set(warning_counts()) == {"mask:layer 1", "mask:layer 2"}
+
+    def test_contextless_calls_always_warn(self):
+        """No call-site key -> no dedup (nothing sane to key on)."""
+        with pytest.warns(InvariantWarning) as caught:
+            check_mask(BAD_TBS, SPEC, level="warn")
+            check_mask(BAD_TBS, SPEC, level="warn")
+        assert len(caught) == 2
+        assert warning_counts() == {}
+
+    def test_first_warning_mentions_suppression(self):
+        with pytest.warns(InvariantWarning, match="counted, not re-warned"):
+            check_mask(BAD_TBS, SPEC, context="layer 9", level="warn")
+
+    def test_reset_reopens_the_site(self):
+        with pytest.warns(InvariantWarning):
+            check_mask(BAD_TBS, SPEC, context="site", level="warn")
+        reset_warning_counts()
+        assert warning_counts() == {}
+        with pytest.warns(InvariantWarning):
+            check_mask(BAD_TBS, SPEC, context="site", level="warn")
+
+    def test_set_check_level_resets_dedup(self):
+        with pytest.warns(InvariantWarning):
+            check_mask(BAD_TBS, SPEC, context="site", level="warn")
+        set_check_level("warn")
+        assert warning_counts() == {}
+
+    def test_strict_still_raises_every_time(self):
+        for _ in range(2):
+            with pytest.raises(InvariantError):
+                check_mask(BAD_TBS, SPEC, context="site", level="strict")
+
+    def test_roundtrip_sites_dedupe_too(self):
+        with pytest.warns(InvariantWarning) as caught:
+            for _ in range(3):
+                check_format_roundtrip(
+                    _LossyFormat(), np.ones((4, 4)), context="sweep", level="warn"
+                )
+        assert len(caught) == 1
+        assert warning_counts() == {"roundtrip:lossy:sweep": 3}
 
 
 class _FakeWorkload:

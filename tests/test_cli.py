@@ -190,3 +190,62 @@ class TestSimulate:
         ])
         assert rc == 0
         assert "cycles" in capsys.readouterr().out
+
+
+class TestFaults:
+    SMALL = ["--trials", "4", "--rows", "16", "--cols", "16",
+             "--formats", "ddc", "csr", "--models", "meta_flip", "value_flip"]
+
+    def test_small_campaign_prints_table(self, capsys):
+        assert main(["faults", "--seed", "0", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "SDC rate" in out and "coverage" in out
+        assert "ddc" in out and "csr" in out
+        assert "ecc=none" in out
+
+    def test_seed_zero_is_bit_reproducible(self, capsys):
+        assert main(["faults", "--seed", "0", *self.SMALL]) == 0
+        first = capsys.readouterr().out
+        assert main(["faults", "--seed", "0", *self.SMALL]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_secded_prints_overhead_line(self, capsys):
+        assert main(["faults", "--seed", "0", "--ecc", "secded", *self.SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "ecc=secded" in out
+        assert "ecc overhead" in out and "check bits" in out and "pJ" in out
+
+    def test_secded_metadata_column_has_no_silent(self, capsys):
+        assert main([
+            "faults", "--seed", "0", "--ecc", "secded", "--trials", "6",
+            "--rows", "16", "--cols", "16", "--models", "meta_flip",
+        ]) == 0
+        for line in capsys.readouterr().out.splitlines():
+            if "meta_flip" in line:
+                assert "0.0%" in line  # SDC-rate column
+
+    def test_campaign_cells_cache_and_resume(self, tmp_path, capsys):
+        argv = ["faults", "--seed", "1", *self.SMALL, "--checkpoint-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("faults-*.pkl"))
+        assert main([*argv, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert second.splitlines()[1:4] == first.splitlines()[1:4]  # same table
+        assert "4 from cache" in second
+
+    def test_rejects_unknown_format(self, capsys):
+        assert main(["faults", "--formats", "coo"]) == 2
+        assert "unknown format" in capsys.readouterr().err
+
+    def test_rejects_unknown_model(self, capsys):
+        assert main(["faults", "--models", "row_hammer"]) == 2
+        assert "unknown fault model" in capsys.readouterr().err
+
+    def test_rejects_zero_trials(self, capsys):
+        assert main(["faults", "--trials", "0"]) == 2
+        assert "--trials" in capsys.readouterr().err
+
+    def test_rejects_bad_sparsity(self, capsys):
+        assert main(["faults", "--sparsity", "1.0"]) == 2
+        assert "sparsity" in capsys.readouterr().err
