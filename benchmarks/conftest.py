@@ -13,8 +13,18 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf-record",
+        default=None,
+        metavar="JSONL",
+        help="append each figure benchmark's wall time to this bench-trajectory file",
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -45,8 +55,24 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 
 @pytest.fixture
-def once(benchmark):
+def once(benchmark, request):
+    record_path = request.config.getoption("--perf-record")
+
     def _runner(fn, *args, **kwargs):
-        return run_once(benchmark, fn, *args, **kwargs)
+        t0 = time.perf_counter()
+        result = run_once(benchmark, fn, *args, **kwargs)
+        if record_path:
+            from repro.perf.bench import append_trajectory
+
+            append_trajectory(
+                record_path,
+                {
+                    "kind": "figure-benchmark",
+                    "test": request.node.nodeid,
+                    "fn": getattr(fn, "__name__", "bench"),
+                    "wall_s": time.perf_counter() - t0,
+                },
+            )
+        return result
 
     return _runner

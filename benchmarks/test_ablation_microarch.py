@@ -12,7 +12,7 @@ DESIGN.md lists three further design choices worth ablating:
 
 import numpy as np
 
-from repro.core.patterns import Direction, PatternFamily
+from repro.core.patterns import PatternFamily
 from repro.formats.conversion import StorageElement, convert_block
 from repro.hw.config import tb_stc
 from repro.hw.dvpe import DVPE

@@ -9,7 +9,6 @@ but SGCN overtakes at ~95%.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     render_dict_table,

@@ -4,8 +4,6 @@ Paper: TBS training converges to almost the same loss as dense
 training; US needs more training overhead (larger search space).
 """
 
-import numpy as np
-
 from repro.analysis import run_fig18_convergence
 
 

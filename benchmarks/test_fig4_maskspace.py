@@ -4,8 +4,6 @@ Paper: TBS reaches 85.31%-91.62% similarity with the unstructured mask,
 far above TS/RS; the mask-space ordering is TS <= RS-V ~ RS-H < TBS < US.
 """
 
-import pytest
-
 from repro.analysis import render_dict_table, run_fig4_maskspace
 
 

@@ -8,7 +8,7 @@ import pytest
 
 from repro.analysis import run_fig6_datapath_power
 from repro.hw.area import a100_overhead_percent
-from repro.hw.config import rm_stc, tb_stc
+from repro.hw.config import tb_stc
 
 
 def test_fig6(once):

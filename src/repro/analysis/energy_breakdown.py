@@ -10,7 +10,7 @@ else stays comparable.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..sim.baselines import ARCH_FAMILY, arch_by_name, simulate_arch
 from ..sim.metrics import SimResult

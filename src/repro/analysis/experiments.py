@@ -7,13 +7,11 @@ the benches run in seconds while the examples can run bigger instances.
 
 from __future__ import annotations
 
-import copy
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.criteria import sparsegpt_scores, wanda_scores
-from ..core.masks import unstructured_mask
 from ..core.maskspace import maskspace_table
 from ..core.patterns import PatternFamily
 from ..core.similarity import direction_distribution, pattern_similarity_sweep

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 __all__ = ["ParetoPoint", "pareto_frontier", "dominates", "hypervolume_2d"]
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four commands:
+Five commands:
 
 * ``report`` -- run one (or all) of the paper's experiments and print
   its table(s); experiment names follow the paper (``table1`` ...
@@ -16,6 +16,10 @@ Four commands:
   the per-cell SDC-rate / detection-coverage table.  ``--ecc parity``
   or ``--ecc secded`` protects format metadata and also prints the
   protection's storage and energy overhead on a reference layer.
+* ``perf`` -- run the deterministic benchmark suite
+  (:mod:`repro.perf.bench`) and write ``BENCH_<name>.json``;
+  ``--compare BENCH_baseline.json`` turns it into a regression gate
+  (exit 1 when any bench exceeds the baseline by ``--tolerance``).
 
 ``--strict-checks`` (all commands) turns on the runtime invariant layer
 (:mod:`repro.runtime.checks`) in ``strict`` mode: invalid masks or
@@ -138,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument(
         "--retries", type=int, default=1,
         help="extra attempts per campaign cell before it is declared failed",
+    )
+
+    perf = sub.add_parser("perf", help="run the benchmark suite / regression gate")
+    perf.add_argument(
+        "--profile", default="full", choices=["smoke", "quick", "full"],
+        help="bench sizes (default: full)",
+    )
+    perf.add_argument(
+        "--quick", action="store_true",
+        help="shorthand for --profile quick (the CI gate profile)",
+    )
+    perf.add_argument("--name", default="baseline", help="suffix for BENCH_<name>.json")
+    perf.add_argument("--out-dir", default=".", help="directory for the BENCH json")
+    perf.add_argument("--seed", type=int, default=0)
+    perf.add_argument(
+        "--compare", default=None, metavar="BASELINE_JSON",
+        help="compare against this baseline and fail on regression",
+    )
+    perf.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed normalized slowdown vs baseline (default: 0.25 = +25%%)",
+    )
+    perf.add_argument(
+        "--trajectory", default=None, metavar="JSONL",
+        help="append a summary line to this bench-trajectory file",
+    )
+    perf.add_argument(
+        "--best-of", type=int, default=1, metavar="N",
+        help="run the suite N times and keep the per-bench best "
+        "(use for committed baselines; default: 1)",
     )
     return parser
 
@@ -379,6 +413,75 @@ def _print_ecc_overheads(spec, ecc) -> None:
           f"+{ecc_pj:.2f} pJ ECC energy")
 
 
+def _run_perf(args) -> int:
+    import os
+
+    from .perf import bench
+
+    if args.tolerance < 0:
+        return _fail(f"--tolerance must be >= 0, got {args.tolerance}")
+    if args.best_of < 1:
+        return _fail(f"--best-of must be >= 1, got {args.best_of}")
+    profile = "quick" if args.quick else args.profile
+    data = bench.run_suite_best(
+        profile=profile, seed=args.seed, name=args.name, rounds=args.best_of
+    )
+    out_path = os.path.join(args.out_dir, f"BENCH_{args.name}.json")
+    try:
+        bench.write_bench_json(out_path, data)
+    except OSError as exc:
+        return _fail(f"cannot write {out_path!r}: {exc}")
+    print(f"bench suite ({profile}, seed {args.seed}): "
+          f"{len(data['benches'])} benches, {data['total_wall_s']:.2f} s total, "
+          f"peak RSS {data['peak_rss_kb'] / 1024:.0f} MB -> {out_path}")
+
+    if args.trajectory:
+        entry = {
+            "name": args.name,
+            "profile": profile,
+            "total_wall_s": data["total_wall_s"],
+            "calibration_s": data["calibration_s"],
+            "normalized": {
+                k: v["normalized"] for k, v in data["benches"].items()
+            },
+        }
+        try:
+            bench.append_trajectory(args.trajectory, entry)
+        except OSError as exc:
+            return _fail(f"cannot append to {args.trajectory!r}: {exc}")
+        print(f"appended trajectory entry to {args.trajectory}")
+
+    if args.compare:
+        try:
+            baseline = bench.load_bench_json(args.compare)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(f"cannot load baseline {args.compare!r}: {exc}")
+        failures, lines = bench.compare(data, baseline, tolerance=args.tolerance)
+        if failures:
+            # One retry filters scheduler noise on loaded CI machines: a
+            # genuine regression slows every round, so only benches that
+            # stay slow after merging in a second round's best fail.
+            print("possible regression -- re-running suite once to filter noise")
+            data = bench.merge_best(
+                data,
+                bench.run_suite(profile=profile, seed=args.seed, name=args.name),
+            )
+            try:
+                bench.write_bench_json(out_path, data)
+            except OSError as exc:
+                return _fail(f"cannot write {out_path!r}: {exc}")
+            failures, lines = bench.compare(data, baseline, tolerance=args.tolerance)
+        print(f"vs {args.compare} (gate: {1 + args.tolerance:.2f}x normalized):")
+        for line in lines:
+            print(line)
+        if failures:
+            for failure in failures:
+                print(f"error: perf regression: {failure}", file=sys.stderr)
+            return 1
+        print("perf gate passed")
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "report":
         return _run_report(args)
@@ -388,6 +491,8 @@ def _dispatch(args) -> int:
         return _run_simulate(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "perf":
+        return _run_perf(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

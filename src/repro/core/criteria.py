@@ -18,7 +18,7 @@ exactly the orthogonality the paper claims.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 

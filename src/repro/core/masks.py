@@ -87,7 +87,9 @@ def topn_along_last(scores: np.ndarray, n: int) -> np.ndarray:
     # Rank entries within each group: rank 0 is the largest.
     order = np.argsort(-scores, axis=-1, kind="stable")
     ranks = np.empty_like(order)
-    np.put_along_axis(ranks, order, np.broadcast_to(np.arange(m), scores.shape).copy(), axis=-1)
+    # put_along_axis only reads `values`, so the read-only broadcast view
+    # is fine -- materialising it would dominate this hot path.
+    np.put_along_axis(ranks, order, np.broadcast_to(np.arange(m), scores.shape), axis=-1)
     return ranks < np.expand_dims(n_arr, axis=-1) if n_arr.ndim else ranks < n_arr
 
 
@@ -182,20 +184,30 @@ def highlight_mask(
     n_tiles = padded.shape[1] // m
     tiles = padded.reshape(rows, n_tiles, m)
 
-    mask = np.zeros_like(padded, dtype=bool)
     tile_strength = tiles.sum(axis=2)  # coarse-level tile importance
-    for r in range(rows):
-        t_keep, n_keep, _ = min(combos, key=lambda c: (abs(c[2] - densities[r]), c[2]))
-        if n_keep == 0:
-            continue
-        row_mask = np.zeros((n_tiles, m), dtype=bool)
-        strengths = tile_strength[r].reshape(-1, super_group)
-        keep_tiles = topn_along_last(strengths, t_keep).reshape(-1)
-        kept_idx = np.nonzero(keep_tiles)[0]
-        if kept_idx.size:
-            row_mask[kept_idx] = topn_along_last(tiles[r, kept_idx], n_keep)
-        mask[r] = row_mask.reshape(-1)
-    return mask[:, :cols]
+
+    # Per-row combo choice, vectorized with the same lexicographic
+    # tie-break as ``min(combos, key=(abs diff, ratio))`` plus list
+    # position: smallest |ratio - density|, then smallest ratio, then
+    # first combo in (t, n) enumeration order.
+    ratios = np.array([c[2] for c in combos])
+    diffs = np.abs(ratios[None, :] - densities[:, None])
+    cand = diffs == diffs.min(axis=1, keepdims=True)
+    ratio_masked = np.where(cand, ratios[None, :], np.inf)
+    cand &= ratio_masked == ratio_masked.min(axis=1, keepdims=True)
+    best = np.argmax(cand, axis=1)
+    t_keep = np.array([c[0] for c in combos])[best]
+    n_keep = np.array([c[1] for c in combos])[best]
+
+    # Coarse level: keep the strongest t_keep[r] tiles per super-group.
+    strengths = tile_strength.reshape(rows, -1, super_group)
+    keep_tiles = topn_along_last(strengths, t_keep[:, None]).reshape(rows, n_tiles)
+    # Fine level: top-n_keep[r] inside every tile (a tile's top-N does
+    # not depend on the other tiles, so computing it everywhere and
+    # masking with the coarse keep set matches the per-row loop exactly).
+    fine = topn_along_last(tiles, n_keep[:, None])
+    mask = fine & keep_tiles[:, :, None] & (n_keep > 0)[:, None, None]
+    return mask.reshape(rows, -1)[:, :cols]
 
 
 def make_mask(scores: np.ndarray, spec: PatternSpec) -> np.ndarray:

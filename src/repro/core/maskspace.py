@@ -21,8 +21,6 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-import numpy as np
-
 from .patterns import is_power_of_two, log2_choose
 
 __all__ = [

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .blocks import block_grid_shape, merge_from_blocks, split_into_blocks
+from .blocks import merge_from_blocks, split_into_blocks
 from .masks import topn_along_last, unstructured_mask
 from .patterns import DEFAULT_M, BlockPattern, Direction, PatternSpec, PatternFamily, nearest_candidate
 

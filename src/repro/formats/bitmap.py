@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..perf import timed
 from .base import VALUE_BYTES, EncodedMatrix, Segment, SparseFormat, apply_mask
 
 
@@ -23,6 +24,7 @@ class BitmapFormat(SparseFormat):
 
     name = "bitmap"
 
+    @timed("formats.bitmap.encode")
     def encode(
         self,
         values: np.ndarray,
@@ -53,6 +55,7 @@ class BitmapFormat(SparseFormat):
             arrays={"bitmap": occupancy, "values": nz_values},
         )
 
+    @timed("formats.bitmap.decode")
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:
         rows, cols = encoded.shape
         dense = np.zeros((rows, cols))

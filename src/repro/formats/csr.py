@@ -15,6 +15,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.blocks import iter_blocks
+from ..perf import timed, use_reference_impl
 from .base import (
     CSR_INDEX_BYTES,
     CSR_PTR_BYTES,
@@ -31,6 +32,7 @@ class CSRFormat(SparseFormat):
 
     name = "csr"
 
+    @timed("formats.csr.encode")
     def encode(
         self,
         values: np.ndarray,
@@ -41,16 +43,27 @@ class CSRFormat(SparseFormat):
         dense = apply_mask(values, mask)
         rows, cols = dense.shape
 
-        row_ptr = np.zeros(rows + 1, dtype=np.int64)
-        col_idx_parts: List[np.ndarray] = []
-        val_parts: List[np.ndarray] = []
-        for r in range(rows):
-            nz = np.nonzero(dense[r])[0]
-            row_ptr[r + 1] = row_ptr[r] + nz.size
-            col_idx_parts.append(nz)
-            val_parts.append(dense[r, nz])
-        col_idx = np.concatenate(col_idx_parts) if col_idx_parts else np.zeros(0, dtype=np.int64)
-        vals = np.concatenate(val_parts) if val_parts else np.zeros(0)
+        if use_reference_impl():
+            row_ptr = np.zeros(rows + 1, dtype=np.int64)
+            col_idx_parts: List[np.ndarray] = []
+            val_parts: List[np.ndarray] = []
+            for r in range(rows):
+                nz = np.nonzero(dense[r])[0]
+                row_ptr[r + 1] = row_ptr[r] + nz.size
+                col_idx_parts.append(nz)
+                val_parts.append(dense[r, nz])
+            col_idx = (
+                np.concatenate(col_idx_parts) if col_idx_parts else np.zeros(0, dtype=np.int64)
+            )
+            vals = np.concatenate(val_parts) if val_parts else np.zeros(0)
+        else:
+            # np.nonzero walks the matrix row-major, which *is* CSR
+            # element order; bincount of the row ids gives the pointers.
+            r_idx, col_idx = np.nonzero(dense)
+            row_ptr = np.zeros(rows + 1, dtype=np.int64)
+            np.cumsum(np.bincount(r_idx, minlength=rows), out=row_ptr[1:])
+            col_idx = col_idx.astype(np.int64, copy=False)
+            vals = dense[r_idx, col_idx]
         nnz = int(vals.size)
 
         segments = self._block_major_trace(row_ptr, col_idx, rows, cols, block_size)
@@ -84,27 +97,66 @@ class CSRFormat(SparseFormat):
         """
         elem_bytes = VALUE_BYTES + CSR_INDEX_BYTES
         segments: List[Segment] = []
-        for idx in iter_blocks(rows, cols, block_size):
-            for r in range(idx.r0, idx.r0 + idx.height):
-                lo, hi = int(row_ptr[r]), int(row_ptr[r + 1])
-                if lo == hi:
-                    continue
-                row_cols = col_idx[lo:hi]
-                start = lo + int(np.searchsorted(row_cols, idx.c0, side="left"))
-                stop = lo + int(np.searchsorted(row_cols, idx.c0 + idx.width, side="left"))
-                count = stop - start
-                if count <= 0:
-                    continue
-                segments.append(Segment(start * elem_bytes, count * elem_bytes))
+        if use_reference_impl():
+            for idx in iter_blocks(rows, cols, block_size):
+                for r in range(idx.r0, idx.r0 + idx.height):
+                    lo, hi = int(row_ptr[r]), int(row_ptr[r + 1])
+                    if lo == hi:
+                        continue
+                    row_cols = col_idx[lo:hi]
+                    start = lo + int(np.searchsorted(row_cols, idx.c0, side="left"))
+                    stop = lo + int(np.searchsorted(row_cols, idx.c0 + idx.width, side="left"))
+                    count = stop - start
+                    if count <= 0:
+                        continue
+                    segments.append(Segment(start * elem_bytes, count * elem_bytes))
+            return segments
+        # Each segment is a maximal run of consecutive non-zeros sharing
+        # (row, block-column); CSR order already groups them, so the run
+        # boundaries fall where either key changes.  Runs are then
+        # reordered into the reference's block-major (block-row,
+        # block-col, row) emission order.
+        n = int(col_idx.size)
+        if n == 0:
+            return segments
+        r_idx = np.repeat(np.arange(rows, dtype=np.int64), np.diff(row_ptr))
+        bc = col_idx // block_size
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (r_idx[1:] != r_idx[:-1]) | (bc[1:] != bc[:-1])
+        starts = np.nonzero(boundary)[0]
+        counts = np.diff(np.append(starts, n))
+        seg_r = r_idx[starts]
+        seg_bc = bc[starts]
+        order = np.lexsort((seg_r, seg_bc, seg_r // block_size))
+        for i in order:
+            segments.append(Segment(int(starts[i]) * elem_bytes, int(counts[i]) * elem_bytes))
         return segments
 
+    @timed("formats.csr.decode")
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:
         rows, cols = encoded.shape
         dense = np.zeros((rows, cols))
         row_ptr = encoded.arrays["row_ptr"]
         col_idx = encoded.arrays["col_idx"]
         vals = encoded.arrays["values"]
-        for r in range(rows):
-            lo, hi = int(row_ptr[r]), int(row_ptr[r + 1])
-            dense[r, col_idx[lo:hi]] = vals[lo:hi]
+        # The vectorized scatter expands row ids with np.repeat, which on
+        # a corrupted row_ptr (fault injection flips pointer bits) would
+        # try to materialise billions of entries.  The loop's slices clamp
+        # such pointers for free, so route anything malformed -- and the
+        # explicit reference mode -- through the original loop.
+        diffs = np.diff(row_ptr)
+        well_formed = (
+            row_ptr.size == rows + 1
+            and int(row_ptr[0]) == 0
+            and int(row_ptr[-1]) == vals.size
+            and bool((diffs >= 0).all())
+        )
+        if use_reference_impl() or not well_formed:
+            for r in range(rows):
+                lo, hi = int(row_ptr[r]), int(row_ptr[r + 1])
+                dense[r, col_idx[lo:hi]] = vals[lo:hi]
+            return dense
+        r_idx = np.repeat(np.arange(rows, dtype=np.int64), diffs)
+        dense[r_idx, col_idx] = vals
         return dense

@@ -23,8 +23,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.blocks import extract_block, iter_blocks, scatter_block
+from ..core.blocks import extract_block, iter_blocks, scatter_block, split_into_blocks
 from ..core.patterns import Direction
+from ..perf import timed, use_reference_impl
 from .base import (
     DDC_INFO_BYTES,
     VALUE_BYTES,
@@ -76,6 +77,7 @@ class DDCFormat(SparseFormat):
 
     name = "ddc"
 
+    @timed("formats.ddc.encode")
     def encode(
         self,
         values: np.ndarray,
@@ -101,39 +103,102 @@ class DDCFormat(SparseFormat):
             segments.append(Segment(0, info_bytes))  # streamed Info table
         payload_base = info_bytes
 
-        for bidx in block_list:
-            block = extract_block(dense, bidx, m)
+        if use_reference_impl():
+            for bidx in block_list:
+                block = extract_block(dense, bidx, m)
+                if tbs is not None:
+                    n = int(tbs.block_n[bidx.row, bidx.col])
+                    direction = Direction(int(tbs.block_direction[bidx.row, bidx.col]))
+                else:
+                    n, direction, _ = infer_block_pattern(block)
+
+                work = block if direction is Direction.ROW else block.T
+                vals = np.zeros((m, n))
+                idxs = np.zeros((m, n), dtype=np.int64)
+                for lane in range(m):
+                    nz = np.nonzero(work[lane])[0][:n]
+                    vals[lane, : nz.size] = work[lane, nz]
+                    idxs[lane, : nz.size] = nz
+                    # Pad unused slots with a repeat of the last index so the
+                    # decode scatter stays idempotent (value 0 writes).
+                    if nz.size < n and nz.size > 0:
+                        idxs[lane, nz.size :] = nz[-1]
+
+                count = m * n
+                v_bytes = count * VALUE_BYTES
+                i_bytes = _index_bytes(count, m)
+                block_meta.append(
+                    {"n": n, "direction": direction.value, "offset": offset, "row": bidx.row, "col": bidx.col}
+                )
+                payload_vals.append(vals)
+                payload_idx.append(idxs)
+                if v_bytes + i_bytes:
+                    segments.append(Segment(payload_base + offset, v_bytes + i_bytes))
+                offset += v_bytes + i_bytes
+                value_bytes += v_bytes
+                index_bytes += i_bytes
+        else:
+            # Vectorized payload construction: pick every block's (n,
+            # direction), sort each lane's non-zeros to the front, and
+            # slice the per-block (m, n) payloads out of one batch.
+            # Bit-exact with the loop above (equivalence suite).
+            flat = split_into_blocks(dense, m).reshape(-1, m, m)
             if tbs is not None:
-                n = int(tbs.block_n[bidx.row, bidx.col])
-                direction = Direction(int(tbs.block_direction[bidx.row, bidx.col]))
+                ns = tbs.block_n.reshape(-1).astype(np.int64)
+                dir_vals = tbs.block_direction.reshape(-1).astype(np.int64)
+                dir_row = dir_vals == Direction.ROW.value
             else:
-                n, direction, _ = infer_block_pattern(block)
+                row_counts = np.count_nonzero(flat, axis=2)
+                col_counts = np.count_nonzero(flat, axis=1)
+                row_max = row_counts.max(axis=1)
+                col_max = col_counts.max(axis=1)
+                row_uniform = ((row_counts == 0) | (row_counts == row_max[:, None])).all(axis=1)
+                col_uniform = ((col_counts == 0) | (col_counts == col_max[:, None])).all(axis=1)
+                dir_row = row_uniform | (~col_uniform & (row_max <= col_max))
+                ns = np.where(dir_row, row_max, col_max)
+                dir_vals = np.where(
+                    dir_row, Direction.ROW.value, Direction.COL.value
+                ).astype(np.int64)
 
-            work = block if direction is Direction.ROW else block.T
-            vals = np.zeros((m, n))
-            idxs = np.zeros((m, n), dtype=np.int64)
-            for lane in range(m):
-                nz = np.nonzero(work[lane])[0][:n]
-                vals[lane, : nz.size] = work[lane, nz]
-                idxs[lane, : nz.size] = nz
-                # Pad unused slots with a repeat of the last index so the
-                # decode scatter stays idempotent (value 0 writes).
-                if nz.size < n and nz.size > 0:
-                    idxs[lane, nz.size :] = nz[-1]
-
-            count = m * n
-            v_bytes = count * VALUE_BYTES
-            i_bytes = _index_bytes(count, m)
-            block_meta.append(
-                {"n": n, "direction": direction.value, "offset": offset, "row": bidx.row, "col": bidx.col}
+            work = np.where(dir_row[:, None, None], flat, flat.transpose(0, 2, 1))
+            # Stable sort on the zero predicate moves each lane's
+            # non-zeros to the front in ascending column order -- `order`
+            # holds their original indices, `vals_full` their values
+            # (zero in every padding slot by construction).
+            order = np.argsort(work == 0, axis=-1, kind="stable")
+            vals_full = np.take_along_axis(work, order, axis=-1)
+            counts = np.count_nonzero(work, axis=-1)
+            # Slot k >= count repeats the last non-zero's index (decode
+            # idempotence); empty lanes clip to slot 0, which stable
+            # argsort leaves at index 0.
+            clip = np.minimum(
+                np.arange(m)[None, None, :], np.maximum(counts[:, :, None] - 1, 0)
             )
-            payload_vals.append(vals)
-            payload_idx.append(idxs)
-            if v_bytes + i_bytes:
-                segments.append(Segment(payload_base + offset, v_bytes + i_bytes))
-            offset += v_bytes + i_bytes
-            value_bytes += v_bytes
-            index_bytes += i_bytes
+            idxs_full = np.take_along_axis(order, clip, axis=-1)
+
+            bits_per = max(1, int(math.ceil(math.log2(max(2, m)))))
+            counts_total = m * ns
+            v_bytes_arr = counts_total * VALUE_BYTES
+            i_bytes_arr = -(-(counts_total * bits_per) // 8)
+            blk_bytes = v_bytes_arr + i_bytes_arr
+            offsets = np.concatenate([[0], np.cumsum(blk_bytes)[:-1]])
+            value_bytes = int(v_bytes_arr.sum())
+            index_bytes = int(i_bytes_arr.sum())
+            for i, bidx in enumerate(block_list):
+                n = int(ns[i])
+                block_meta.append(
+                    {
+                        "n": n,
+                        "direction": int(dir_vals[i]),
+                        "offset": int(offsets[i]),
+                        "row": bidx.row,
+                        "col": bidx.col,
+                    }
+                )
+                payload_vals.append(vals_full[i, :, :n].copy())
+                payload_idx.append(idxs_full[i, :, :n].copy())
+                if blk_bytes[i]:
+                    segments.append(Segment(payload_base + int(offsets[i]), int(blk_bytes[i])))
 
         def _object_array(items: List) -> np.ndarray:
             arr = np.empty(len(items), dtype=object)
@@ -157,6 +222,7 @@ class DDCFormat(SparseFormat):
             },
         )
 
+    @timed("formats.ddc.decode")
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:
         rows, cols = encoded.shape
         m = int(encoded.arrays["m"])
@@ -165,16 +231,15 @@ class DDCFormat(SparseFormat):
         all_vals = encoded.arrays["block_values"]
         all_idxs = encoded.arrays["block_indices"]
         blocks = {(b.row, b.col): b for b in iter_blocks(rows, cols, m)}
+        lane_ids = np.arange(m)
         for meta, vals, idxs in zip(metas, all_vals, all_idxs):
             bidx = blocks[(meta["row"], meta["col"])]
             block = np.zeros((m, m))
-            n = meta["n"]
-            for lane in range(m):
-                for k in range(n):
-                    # Padding slots carry value 0 with a duplicated index;
-                    # skipping them keeps the real value intact.
-                    if vals[lane, k] != 0.0:
-                        block[lane, idxs[lane, k]] = vals[lane, k]
+            # Padding slots carry value 0 with a duplicated index;
+            # skipping them keeps the real value intact.
+            keep = vals != 0.0
+            lanes = np.broadcast_to(lane_ids[:, None], vals.shape)
+            block[lanes[keep], idxs[keep]] = vals[keep]
             if Direction(meta["direction"]) is Direction.COL:
                 block = block.T
             scatter_block(dense, bidx, block)

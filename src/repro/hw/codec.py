@@ -13,7 +13,7 @@ this layer adds what the cycle simulator needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

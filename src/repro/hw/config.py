@@ -11,7 +11,7 @@ format, and their scheduling/mapping capabilities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from ..core.patterns import PatternFamily

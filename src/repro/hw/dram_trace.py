@@ -21,7 +21,7 @@ studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, Optional
 
 from ..formats.base import Segment
 

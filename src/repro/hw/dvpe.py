@@ -14,8 +14,10 @@ buffer for not stalling the multiplier array (Sec. VI-A1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
+import numpy as np
+
+from ..perf import timed
 from .mapping import BlockWork, MappedSchedule, map_balanced, map_naive
 
 __all__ = ["DVPEResult", "DVPE"]
@@ -105,3 +107,66 @@ class DVPE:
     def block_cost(self, work: BlockWork) -> int:
         """Cycles to execute one block (the scheduler's cost metric)."""
         return self.execute(work).total_cycles
+
+    @timed("hw.dvpe.block_costs_batch")
+    def block_costs_batch(self, row_counts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_cost` over ``(n_blocks, m)`` segments.
+
+        Reproduces :meth:`execute`'s output-buffer recurrence for *all*
+        blocks at once: per issue-group timestep, completions arrive
+        (``map_balanced`` closes a segment in the cycle its last element
+        is packed into), the port drains ``output_port_width`` results,
+        and overflow past the alternate buffer stalls in
+        ``ceil(excess / port)`` steps.  Bit-exact with the scalar path
+        (see ``tests/sim/test_vectorized_equivalence.py``); the loop
+        implementation stays available via ``REPRO_REFERENCE_IMPL=1``.
+        """
+        counts = np.asarray(row_counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise ValueError(f"expected (n_blocks, m) counts, got {counts.shape}")
+        n_blocks = counts.shape[0]
+        lanes = self.lanes
+        if not self.intra_block_mapping:
+            # Naive mapping: one segment per issue group, so at most one
+            # completion per cycle -- the port (width >= 1) drains it
+            # immediately and no stall is ever taken.
+            return -(-counts // lanes).sum(axis=1)
+
+        nnz = counts.sum(axis=1)
+        num_cycles = -(-nnz // lanes)
+        horizon = int(num_cycles.max()) if n_blocks else 0
+        if horizon == 0:
+            return np.zeros(n_blocks, dtype=np.int64)
+
+        # Segment completions per cycle: segment s of block b completes in
+        # the cycle holding its last packed element.
+        ends = np.cumsum(counts, axis=1)
+        has_work = counts > 0
+        produced = np.zeros((n_blocks, horizon), dtype=np.int64)
+        block_ids = np.broadcast_to(np.arange(n_blocks)[:, None], counts.shape)
+        np.add.at(
+            produced,
+            (block_ids[has_work], (ends[has_work] - 1) // lanes),
+            1,
+        )
+
+        port = self.output_port_width
+        capacity = self.alternate_buffer_depth if self.alternate_unit else 0
+        occ = np.zeros(n_blocks, dtype=np.int64)
+        stalls = np.zeros(n_blocks, dtype=np.int64)
+        max_occ = np.zeros(n_blocks, dtype=np.int64)
+        for t in range(horizon):
+            active = t < num_cycles
+            level = occ + produced[:, t]
+            level -= np.minimum(port, level)
+            excess = np.maximum(level - capacity, 0)
+            extra_drains = -(-excess // port)
+            level = np.maximum(level - extra_drains * port, 0)
+            occ = np.where(active, level, occ)
+            stalls += np.where(active, extra_drains, 0)
+            max_occ = np.maximum(max_occ, np.where(active, level, 0))
+        # Drain whatever is still buffered after the last issue group.
+        stalls += -(-occ // port)
+        if self.alternate_unit:
+            stalls = np.maximum(0, stalls - max_occ // port)
+        return num_cycles + stalls

@@ -11,8 +11,6 @@ workload's component energies and derives power and EDP.
 """
 
 from __future__ import annotations
-
-import math
 from dataclasses import dataclass, field
 from typing import Dict
 

@@ -12,6 +12,14 @@ slots.  We model both policies event-driven:
 * :func:`schedule_direct` -- round-robin static assignment (the
   "direct mapping" baseline in Fig. 16(b));
 * :func:`schedule_sparsity_aware` -- windowed earliest-free-PE dispatch.
+
+Both schedulers run an optimized default path (array wave-packing for
+direct; a max-heap window with numpy busy accumulators for
+sparsity-aware) plus the original loop-based reference behind
+``REPRO_REFERENCE_IMPL=1``; the equivalence suite proves the two agree
+bit-exactly.  Duck-typed sequences (e.g. the corrupted descriptor
+streams the stall guards exist for) always take the reference event
+loop, whose length-snapshot guards they exercise.
 """
 
 from __future__ import annotations
@@ -20,6 +28,13 @@ import heapq
 import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..perf import use_reference_impl
+from ..perf.timers import enabled as _perf_enabled
+from ..perf.timers import snapshot as _perf_snapshot
+from ..perf.timers import timed
 
 __all__ = [
     "Assignment",
@@ -37,7 +52,9 @@ class SimStallError(RuntimeError):
     descriptor stream, lying length, non-finite costs) would otherwise
     hang the event loop, or when a simulation blows through its cycle
     budget.  ``state`` carries a diagnostic snapshot (cursors, pending
-    blocks, buffer contents) so the stall is debuggable post-mortem.
+    blocks, buffer contents, and -- when stage timing is enabled -- the
+    perf snapshot taken at stall time under the ``"perf"`` key) so the
+    stall is debuggable post-mortem.
     """
 
     def __init__(self, message: str, state: Optional[dict] = None):
@@ -45,6 +62,10 @@ class SimStallError(RuntimeError):
         if self.state:
             detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.state.items()))
             message = f"{message} [{detail}]"
+        if _perf_enabled():
+            # Kept out of the message (stage splits are bulky); available
+            # to post-mortem tooling via the state dump.
+            self.state.setdefault("perf", _perf_snapshot())
         super().__init__(message)
 
 
@@ -93,6 +114,46 @@ def _validate(costs: Sequence[int], num_pes: int) -> None:
             raise ValueError("block costs must be non-negative")
 
 
+def _as_cost_array(costs) -> Optional[np.ndarray]:
+    """1-D ndarray view of a trusted sequence, or None for anything else.
+
+    Only genuine arrays, lists and tuples take the vectorized paths;
+    duck-typed sequences (whose ``__len__``/``__getitem__`` the stall
+    guards must observe live) fall back to the reference event loop.
+    """
+    if isinstance(costs, np.ndarray):
+        arr = costs
+    elif isinstance(costs, (list, tuple)):
+        if not costs:
+            return np.zeros(0, dtype=np.int64)
+        try:
+            arr = np.asarray(costs)
+        except (ValueError, TypeError):
+            return None
+    else:
+        return None
+    if arr.ndim != 1 or arr.dtype.kind not in "iufb":
+        return None
+    if arr.dtype.kind == "b":
+        arr = arr.astype(np.int64)
+    return arr
+
+
+def _validate_array(arr: np.ndarray, num_pes: int) -> None:
+    if num_pes < 1:
+        raise ValueError("need at least one PE")
+    if arr.size == 0:
+        return
+    if arr.dtype.kind == "f":
+        finite = np.isfinite(arr)
+        if not finite.all():
+            i = int(np.argmin(finite))
+            raise ValueError(f"block cost {i} is not finite: {arr[i]!r}")
+    if (arr < 0).any():
+        raise ValueError("block costs must be non-negative")
+
+
+@timed("hw.scheduler.direct")
 def schedule_direct(
     costs: Sequence[int], num_pes: int, record: bool = False
 ) -> ScheduleResult:
@@ -105,6 +166,35 @@ def schedule_direct(
 
     ``record=True`` captures per-block placements for trace rendering.
     """
+    arr = None if record or use_reference_impl() else _as_cost_array(costs)
+    if arr is None:
+        return _schedule_direct_reference(costs, num_pes, record)
+    _validate_array(arr, num_pes)
+    n = int(arr.size)
+    if n == 0:
+        return ScheduleResult(0, 0, num_pes, tuple([0] * num_pes))
+    pad = (-n) % num_pes
+    waves = (np.pad(arr, (0, pad)) if pad else arr).reshape(-1, num_pes)
+    wave_max = waves.max(axis=1)
+    if arr.dtype.kind == "f":
+        # Left-to-right Python summation: bit-identical to the reference
+        # loop's sequential accumulation (float addition is not
+        # associative, and numpy's pairwise reduction would diverge in
+        # the last ulps).
+        makespan = float(sum(wave_max.tolist()))
+        total = float(sum(arr.tolist()))
+        busy = tuple(float(sum(col)) for col in waves.T.tolist())
+    else:
+        makespan = int(wave_max.sum())
+        total = int(arr.sum())
+        busy = tuple(int(b) for b in waves.sum(axis=0))
+    return ScheduleResult(makespan, total, num_pes, busy)
+
+
+def _schedule_direct_reference(
+    costs: Sequence[int], num_pes: int, record: bool = False
+) -> ScheduleResult:
+    """Loop-based reference for :func:`schedule_direct`."""
     _validate(costs, num_pes)
     busy = [0] * num_pes
     makespan = 0
@@ -121,6 +211,7 @@ def schedule_direct(
     return ScheduleResult(makespan, total, num_pes, tuple(busy), tuple(assignments))
 
 
+@timed("hw.scheduler.sparsity_aware")
 def schedule_sparsity_aware(
     costs: Sequence[int],
     num_pes: int,
@@ -137,13 +228,139 @@ def schedule_sparsity_aware(
 
     Dispatch rule: hand the *largest* block in the window to the PE that
     frees first (longest-processing-time within the lookahead).
+
+    The optimized path keeps the window in a max-heap keyed
+    ``(-cost, -block_id)`` -- the exact tie-break of the reference's
+    ``sort(reverse=True); pop(0)`` -- and accumulates per-PE busy time
+    and total work in numpy arrays instead of re-reading the stream.
     """
+    if use_reference_impl():
+        return _schedule_sparsity_aware_reference(
+            costs, num_pes, window, fetch_per_cycle, record
+        )
+    arr = _as_cost_array(costs)
+    if arr is not None:
+        _validate_array(arr, num_pes)
+        return _dispatch_array(arr, num_pes, window, fetch_per_cycle, record)
     _validate(costs, num_pes)
     if window < 1 or fetch_per_cycle < 1:
         raise ValueError("window and fetch rate must be positive")
     pending = costs
     # Snapshot the block count once: every bound below uses it, so even
     # a sequence whose __len__ drifts (corrupted block list) terminates.
+    n_blocks = len(pending)
+    busy = np.zeros(num_pes, dtype=np.float64)
+    buffer: List[Tuple] = []  # max-heap of (-cost, -block_id)
+    heap = [(0, pe) for pe in range(num_pes)]  # (free_time, pe)
+    heapq.heapify(heap)
+    fetch_cursor = 0
+    dispatched = 0
+    fetched_total = 0  # duck-typed path: left-to-right sum at fetch time
+    assignments: List[Assignment] = []
+
+    def _stall_state() -> dict:
+        return {
+            "fetch_cursor": fetch_cursor,
+            "dispatched": dispatched,
+            "n_blocks": n_blocks,
+            "claimed_len": len(pending),
+            "window": window,
+            "buffer": sorted(((-nc, -nb) for nc, nb in buffer), reverse=True)[:8],
+        }
+
+    while fetch_cursor < len(pending) or buffer:
+        # Refill the window (bounded fetch bandwidth is folded into the
+        # window bound: at 2 blocks/cycle the buffer never starves for
+        # blocks costing >= 1 cycle).
+        while fetch_cursor < min(len(pending), n_blocks) and len(buffer) < window:
+            cost = pending[fetch_cursor]
+            heapq.heappush(buffer, (-cost, -fetch_cursor))
+            fetched_total += cost
+            fetch_cursor += 1
+        # Progress guard: every outer iteration must dispatch exactly one
+        # of the n_blocks blocks; anything else is a stalled or corrupted
+        # stream, and spinning here would hang the whole report pipeline.
+        if not buffer:
+            raise SimStallError(
+                "scheduler fetch stage made no progress", state=_stall_state()
+            )
+        if dispatched >= n_blocks:
+            raise SimStallError(
+                "scheduler dispatched every block but the stream claims more pending",
+                state=_stall_state(),
+            )
+        # Dispatch the heaviest visible block to the earliest-free PE.
+        neg_cost, neg_id = heapq.heappop(buffer)
+        cost, block_id = -neg_cost, -neg_id
+        dispatched += 1
+        free_time, pe = heapq.heappop(heap)
+        heapq.heappush(heap, (free_time + cost, pe))
+        busy[pe] += cost
+        if record:
+            assignments.append(Assignment(block_id, pe, free_time, free_time + cost))
+
+    makespan = max(t for t, _ in heap) if heap else 0
+    return ScheduleResult(
+        makespan, fetched_total, num_pes, tuple(busy.tolist()), tuple(assignments)
+    )
+
+
+def _dispatch_array(
+    arr: np.ndarray, num_pes: int, window: int, fetch_per_cycle: int, record: bool
+) -> ScheduleResult:
+    """Array fast path of :func:`schedule_sparsity_aware`.
+
+    A validated fixed-length cost array cannot stall (the fetch stage
+    always progresses and the stream length is constant), so the guarded
+    generic loop reduces to a tight heap loop over native Python numbers
+    -- identical arithmetic (IEEE-754 double either way) and identical
+    ``(-cost, -block_id)`` tie-breaks, without per-element numpy scalar
+    overhead.
+    """
+    if window < 1 or fetch_per_cycle < 1:
+        raise ValueError("window and fetch rate must be positive")
+    n_blocks = int(arr.shape[0])
+    int_costs = arr.dtype.kind != "f"
+    costs_list = arr.tolist()
+    busy = [0] * num_pes if int_costs else [0.0] * num_pes
+    buffer: List[Tuple] = []  # max-heap of (-cost, -block_id)
+    heap = [(0, pe) for pe in range(num_pes)]  # (free_time, pe)
+    heapq.heapify(heap)
+    assignments: List[Assignment] = []
+    push, pop = heapq.heappush, heapq.heappop
+    fetch_cursor = 0
+    for _ in range(n_blocks):
+        while fetch_cursor < n_blocks and len(buffer) < window:
+            push(buffer, (-costs_list[fetch_cursor], -fetch_cursor))
+            fetch_cursor += 1
+        # Dispatch the heaviest visible block to the earliest-free PE.
+        neg_cost, neg_id = pop(buffer)
+        cost = -neg_cost
+        free_time, pe = pop(heap)
+        push(heap, (free_time + cost, pe))
+        busy[pe] += cost
+        if record:
+            assignments.append(Assignment(-neg_id, pe, free_time, free_time + cost))
+
+    makespan = max(t for t, _ in heap) if heap else 0
+    # Same total as re-reading the stream (float arrays sum left-to-right
+    # to match the reference accumulation order).
+    total = int(arr.sum()) if int_costs else float(sum(costs_list))
+    return ScheduleResult(makespan, total, num_pes, tuple(busy), tuple(assignments))
+
+
+def _schedule_sparsity_aware_reference(
+    costs: Sequence[int],
+    num_pes: int,
+    window: int = 8,
+    fetch_per_cycle: int = 2,
+    record: bool = False,
+) -> ScheduleResult:
+    """Loop-based reference for :func:`schedule_sparsity_aware`."""
+    _validate(costs, num_pes)
+    if window < 1 or fetch_per_cycle < 1:
+        raise ValueError("window and fetch rate must be positive")
+    pending = costs
     n_blocks = len(pending)
     buffer: List[Tuple[float, int]] = []  # (cost, block_id)
     heap = [(0, pe) for pe in range(num_pes)]  # (free_time, pe)
@@ -164,15 +381,9 @@ def schedule_sparsity_aware(
         }
 
     while fetch_cursor < len(pending) or buffer:
-        # Refill the window (bounded fetch bandwidth is folded into the
-        # window bound: at 2 blocks/cycle the buffer never starves for
-        # blocks costing >= 1 cycle).
         while fetch_cursor < min(len(pending), n_blocks) and len(buffer) < window:
             buffer.append((pending[fetch_cursor], fetch_cursor))
             fetch_cursor += 1
-        # Progress guard: every outer iteration must dispatch exactly one
-        # of the n_blocks blocks; anything else is a stalled or corrupted
-        # stream, and spinning here would hang the whole report pipeline.
         if not buffer:
             raise SimStallError(
                 "scheduler fetch stage made no progress", state=_stall_state()
@@ -182,7 +393,6 @@ def schedule_sparsity_aware(
                 "scheduler dispatched every block but the stream claims more pending",
                 state=_stall_state(),
             )
-        # Dispatch the heaviest visible block to the earliest-free PE.
         buffer.sort(reverse=True)
         cost, block_id = buffer.pop(0)
         dispatched += 1

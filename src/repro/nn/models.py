@@ -19,8 +19,6 @@ import numpy as np
 from .layers import (
     BatchNorm2d,
     Conv2d,
-    Flatten,
-    GELU,
     GlobalAvgPool2d,
     LayerNorm,
     Linear,

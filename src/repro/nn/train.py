@@ -31,12 +31,13 @@ import numpy as np
 from ..core.masks import make_mask, unstructured_mask
 from ..core.patterns import PatternFamily, PatternSpec
 from ..core.sparsify import tbs_sparsify
+from ..perf import stage, timed
 from ..runtime.checkpoint import CheckpointStore
 from ..runtime.checks import check_mask
 from ..runtime.state import capture_train_state, restore_train_state
 from ..runtime.watchdog import DivergenceWatchdog, WatchdogConfig
 from .layers import Module
-from .losses import accuracy, softmax_cross_entropy
+from .losses import softmax_cross_entropy
 from .models import prunable_layers
 from .optim import SGD, _Optimizer
 
@@ -106,6 +107,7 @@ def _global_layer_sparsities(layers, sparsity: float) -> List[float]:
     ]
 
 
+@timed("nn.train.apply_masks")
 def apply_masks(
     model: Module,
     family: Optional[PatternFamily],
@@ -147,6 +149,7 @@ def apply_masks(
     return 1.0 - kept / total if total else 0.0
 
 
+@timed("nn.train.evaluate")
 def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch: int = 128) -> float:
     """Top-1 accuracy in eval mode."""
     model.eval()
@@ -166,6 +169,7 @@ def _watchdog_for(watchdog: Union[None, bool, WatchdogConfig]) -> DivergenceWatc
     return DivergenceWatchdog(WatchdogConfig())
 
 
+@timed("nn.train.train")
 def train(
     model: Module,
     data,
@@ -272,18 +276,19 @@ def train(
         epoch_loss = 0.0
         steps = 0
         diverged: Optional[str] = None
-        for i in range(0, len(order), batch):
-            idx = order[i : i + batch]
-            opt.zero_grad()
-            logits = model(train_x[idx])
-            loss, dlogits = criterion(logits, train_y[idx])
-            if wd.config.enabled and not np.isfinite(loss):
-                diverged = "nan"
-                break
-            model.backward(dlogits)
-            opt.step()
-            epoch_loss += loss
-            steps += 1
+        with stage("nn.train.epoch"):
+            for i in range(0, len(order), batch):
+                idx = order[i : i + batch]
+                opt.zero_grad()
+                logits = model(train_x[idx])
+                loss, dlogits = criterion(logits, train_y[idx])
+                if wd.config.enabled and not np.isfinite(loss):
+                    diverged = "nan"
+                    break
+                model.backward(dlogits)
+                opt.step()
+                epoch_loss += loss
+                steps += 1
         mean_loss = epoch_loss / max(1, steps)
         if diverged is None:
             diverged = wd.classify(mean_loss)
@@ -315,6 +320,7 @@ def train(
     return result
 
 
+@timed("nn.train.one_shot_prune")
 def one_shot_prune(
     model: Module,
     family: PatternFamily,

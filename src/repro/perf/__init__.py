@@ -1,0 +1,63 @@
+"""Performance subsystem: stage timers, bench harness, dual-impl policy.
+
+Two concerns live here:
+
+* :mod:`repro.perf.timers` -- lightweight per-stage timers
+  (``perf_counter_ns`` based, zero overhead when disabled) wired into the
+  simulator pipeline, the schedulers, the format codecs and the training
+  loop.  ``simulate()`` surfaces a per-stage split as
+  ``SimResult.perf_breakdown`` when timing is enabled.
+* :mod:`repro.perf.bench` -- the deterministic micro/macro benchmark
+  suite behind ``python -m repro perf``; it emits machine-readable
+  ``BENCH_<name>.json`` files that the CI ``bench`` job gates against a
+  committed baseline.
+
+The subsystem also owns the *dual implementation policy*: every
+vectorized hot path keeps its original loop-based reference
+implementation, selectable at runtime with ``REPRO_REFERENCE_IMPL=1``.
+The equivalence suite (``tests/sim/test_vectorized_equivalence.py``)
+proves the two agree bit-exactly; the escape hatch exists so a
+regression can always be bisected against the reference semantics.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .timers import (
+    capture,
+    disable,
+    enable,
+    enabled,
+    enabled_scope,
+    reset,
+    snapshot,
+    stage,
+    timed,
+)
+
+__all__ = [
+    "REFERENCE_ENV",
+    "capture",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "reset",
+    "snapshot",
+    "stage",
+    "timed",
+    "use_reference_impl",
+]
+
+#: Environment variable forcing the loop-based reference implementations.
+REFERENCE_ENV = "REPRO_REFERENCE_IMPL"
+
+
+def use_reference_impl() -> bool:
+    """True when ``REPRO_REFERENCE_IMPL=1`` forces the reference paths.
+
+    Checked per call (not cached) so tests can flip the switch with
+    ``monkeypatch.setenv`` and compare both implementations in-process.
+    """
+    return os.environ.get(REFERENCE_ENV, "") == "1"

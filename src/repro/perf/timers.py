@@ -1,0 +1,167 @@
+"""Lightweight hierarchical stage timers (``perf_counter_ns`` based).
+
+Design constraints:
+
+* **Zero overhead when disabled.**  ``stage(name)`` returns a shared
+  no-op context manager and ``timed(name)`` wrappers reduce to a single
+  boolean check, so instrumentation can stay wired into hot paths
+  permanently.
+* **Nesting-safe.**  Stages aggregate by name; a stage timed inside
+  another contributes to both (the parent's total includes the child's),
+  which is the natural reading of a per-stage wall-time split.
+* **Diff-able.**  :class:`capture` snapshots the registry on entry and
+  yields only the *delta* recorded inside its block, which is how
+  ``simulate()`` attaches a per-call ``SimResult.perf_breakdown``.
+
+The registry is process-global and not thread-safe; the simulator and
+benchmark suite are single-threaded by construction.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, List
+
+__all__ = [
+    "capture",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "reset",
+    "snapshot",
+    "stage",
+    "timed",
+]
+
+_enabled = False
+#: name -> [calls, total_ns]
+_records: Dict[str, List[int]] = {}
+
+
+def enabled() -> bool:
+    """Whether stage timing is currently collecting."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn stage timing on (records accumulate until :func:`reset`)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn stage timing off; existing records are kept."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Drop every accumulated stage record."""
+    _records.clear()
+
+
+class _StageTimer:
+    """Records one timed region into the global registry on exit."""
+
+    __slots__ = ("name", "start")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self) -> "_StageTimer":
+        self.start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter_ns() - self.start
+        rec = _records.get(self.name)
+        if rec is None:
+            _records[self.name] = [1, elapsed]
+        else:
+            rec[0] += 1
+            rec[1] += elapsed
+        return False
+
+
+class _NullTimer:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL = _NullTimer()
+
+
+def stage(name: str):
+    """Context manager timing one region under ``name`` (no-op when off)."""
+    return _StageTimer(name) if _enabled else _NULL
+
+
+def timed(name: str) -> Callable:
+    """Decorator timing every call of the wrapped function under ``name``."""
+
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with _StageTimer(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco
+
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """Current totals: ``{stage: {"calls": n, "seconds": s}}``."""
+    return {
+        name: {"calls": rec[0], "seconds": rec[1] / 1e9}
+        for name, rec in _records.items()
+    }
+
+
+class capture:
+    """Context manager yielding the stage records made inside its block.
+
+    The yielded dict is empty during the block and is filled at exit with
+    the per-stage deltas (same shape as :func:`snapshot`), so callers can
+    attribute timings to one region without resetting global state.
+    """
+
+    def __enter__(self) -> Dict[str, Dict[str, float]]:
+        self._before = {name: (rec[0], rec[1]) for name, rec in _records.items()}
+        self.stages: Dict[str, Dict[str, float]] = {}
+        return self.stages
+
+    def __exit__(self, *exc) -> bool:
+        for name, rec in _records.items():
+            calls0, ns0 = self._before.get(name, (0, 0))
+            dcalls = rec[0] - calls0
+            dns = rec[1] - ns0
+            if dcalls or dns:
+                self.stages[name] = {"calls": dcalls, "seconds": dns / 1e9}
+        return False
+
+
+class enabled_scope:
+    """Context manager enabling timing inside its block, restoring after."""
+
+    def __enter__(self):
+        global _enabled
+        self._prev = _enabled
+        _enabled = True
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _enabled
+        _enabled = self._prev
+        return False

@@ -25,6 +25,7 @@ One :func:`simulate` call executes one sparse GEMM on one
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -33,6 +34,7 @@ from ..core.blocks import split_into_blocks
 from ..core.patterns import Direction, PatternFamily
 from ..formats.base import VALUE_BYTES
 from ..formats.bitmap import BitmapFormat
+from ..formats.conversion import batch_conversion_cycles
 from ..formats.csr import CSRFormat
 from ..formats.ddc import DDCFormat
 from ..formats.dense import DenseFormat
@@ -45,6 +47,9 @@ from ..hw.dvpe import DVPE
 from ..hw.energy import EnergyModel, EnergyParams
 from ..hw.mapping import BlockWork
 from ..hw.scheduler import SimStallError, schedule_direct, schedule_sparsity_aware
+from ..perf import stage, use_reference_impl
+from ..perf.timers import capture
+from ..perf.timers import enabled as _perf_enabled
 from ..runtime.checks import check_format_roundtrip, check_workload, get_check_level
 from ..workloads.generator import GEMMWorkload
 from .metrics import SimResult
@@ -106,8 +111,54 @@ def block_segments(
 
 def _block_costs(
     row_counts: np.ndarray, config: ArchConfig, row_overhead: float = 0.0
+):
+    """DVPE cycle cost of every block (intra-block mapping model).
+
+    Default: the vectorized :meth:`~repro.hw.dvpe.DVPE.block_costs_batch`
+    model, memoized across sweep cells (see :data:`_COST_MEMO`).
+    ``REPRO_REFERENCE_IMPL=1`` selects the original per-block loop; both
+    return the same values bit-exactly (equivalence suite).
+    """
+    if use_reference_impl():
+        return _block_costs_reference(row_counts, config, row_overhead)
+    key = (
+        row_counts.tobytes(),
+        row_counts.shape,
+        config.lanes_per_pe,
+        config.output_port_width,
+        config.alternate_unit,
+        config.alternate_buffer_depth,
+        config.intra_block_mapping,
+        row_overhead,
+    )
+    cached = _COST_MEMO.get(key)
+    if cached is not None:
+        _COST_MEMO.move_to_end(key)
+        return cached
+    pe = DVPE(
+        lanes=config.lanes_per_pe,
+        output_port_width=config.output_port_width,
+        alternate_unit=config.alternate_unit,
+        alternate_buffer_depth=config.alternate_buffer_depth,
+        intra_block_mapping=config.intra_block_mapping,
+    )
+    costs = pe.block_costs_batch(row_counts).astype(np.float64)
+    if row_overhead:
+        # Fractional per-row overhead (pipelined row processing of the
+        # CSR-style machines); it aggregates across blocks rather than
+        # rounding up per block.
+        costs = costs + row_overhead * (row_counts > 0).sum(axis=1)
+    costs.setflags(write=False)
+    _COST_MEMO[key] = costs
+    if len(_COST_MEMO) > _COST_MEMO_SIZE:
+        _COST_MEMO.popitem(last=False)
+    return costs
+
+
+def _block_costs_reference(
+    row_counts: np.ndarray, config: ArchConfig, row_overhead: float = 0.0
 ) -> List[int]:
-    """DVPE cycle cost of every block (intra-block mapping model)."""
+    """Loop-based reference for :func:`_block_costs` (one DVPE per block)."""
     pe = DVPE(
         lanes=config.lanes_per_pe,
         output_port_width=config.output_port_width,
@@ -120,12 +171,18 @@ def _block_costs(
         work = BlockWork(tuple(int(c) for c in counts), m=len(counts))
         cost = float(pe.block_cost(work))
         if row_overhead:
-            # Fractional per-row overhead (pipelined row processing of the
-            # CSR-style machines); it aggregates across blocks rather than
-            # rounding up per block.
             cost += row_overhead * float((counts > 0).sum())
         costs.append(cost)
     return costs
+
+
+#: LRU memo for block-cost vectors, keyed on the mask-derived segment
+#: counts plus every ArchConfig field the DVPE cost model reads.  Sweeps
+#: (fig13/fig15/fig16) re-simulate the same layer across architectures
+#: and sweep axes that share these fields, so repeated cells become a
+#: dictionary lookup.  Entries are marked read-only before sharing.
+_COST_MEMO: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_COST_MEMO_SIZE = 256
 
 
 #: Codec lane provisioning: 16 lanes x 2 elements/cycle matches the
@@ -156,17 +213,32 @@ def _codec_visible_and_elements(
     sparse = workload.sparse_values
     blocks = split_into_blocks(sparse, m)
     flat_blocks = blocks.reshape(-1, m, m)
-    codec = CodecUnit(lanes=m)
-    conversion_cycles = 0
-    converted = 0
-    elements = 0
-    for i, direction in enumerate(dirs):
-        if direction != Direction.COL.value:
-            continue
-        stats = codec.process_block(flat_blocks[i], Direction.COL, pe_cycles=costs[i])
-        conversion_cycles += stats.conversion_cycles
-        converted += stats.converted_blocks
-        elements += stats.elements
+    if use_reference_impl():
+        codec = CodecUnit(lanes=m)
+        conversion_cycles = 0
+        converted = 0
+        elements = 0
+        for i, direction in enumerate(dirs):
+            if direction != Direction.COL.value:
+                continue
+            stats = codec.process_block(flat_blocks[i], Direction.COL, pe_cycles=costs[i])
+            conversion_cycles += stats.conversion_cycles
+            converted += stats.converted_blocks
+            elements += stats.elements
+    else:
+        # Batched queue-group emulation: only COL-direction blocks with
+        # payload convert; empty ones pass through contributing nothing.
+        col_sel = dirs == Direction.COL.value
+        col_blocks = flat_blocks[col_sel]
+        block_nnz = np.count_nonzero(col_blocks, axis=(1, 2))
+        elements = int(block_nnz.sum())
+        conv_blocks = col_blocks[block_nnz > 0]
+        converted = int(conv_blocks.shape[0])
+        conversion_cycles = (
+            int(batch_conversion_cycles(conv_blocks, n_queues=m).sum())
+            if converted
+            else 0
+        )
     parallel_conversion = conversion_cycles / CODEC_LANES
     visible = int(math.ceil(max(0.0, parallel_conversion - overlap_cycles)))
     if converted:
@@ -275,7 +347,54 @@ def simulate(
     workload mask is validated against its declared pattern family, and
     under ``strict`` the architecture's storage format is additionally
     round-tripped (encode -> decode must be exact) before simulation.
+
+    When stage timing is enabled (:func:`repro.perf.timers.enable`), the
+    per-stage wall-time split of this call lands in
+    ``SimResult.perf_breakdown``; with timing off the instrumentation
+    reduces to one boolean check.
     """
+    if not _perf_enabled():
+        return _simulate(
+            config,
+            workload,
+            energy_params,
+            row_overhead_cycles,
+            weight_bits,
+            ecc,
+            fault,
+            fault_seed,
+            cycle_budget,
+        )
+    cap = capture()
+    with cap as stages:
+        with stage("sim.engine.simulate"):
+            result = _simulate(
+                config,
+                workload,
+                energy_params,
+                row_overhead_cycles,
+                weight_bits,
+                ecc,
+                fault,
+                fault_seed,
+                cycle_budget,
+            )
+    result.perf_breakdown = stages
+    return result
+
+
+def _simulate(
+    config: ArchConfig,
+    workload: GEMMWorkload,
+    energy_params: Optional[EnergyParams] = None,
+    row_overhead_cycles: float = 0.0,
+    weight_bits: int = 16,
+    ecc=None,
+    fault: Optional[str] = None,
+    fault_seed: int = 0,
+    cycle_budget: Optional[int] = None,
+) -> SimResult:
+    """Pipeline body of :func:`simulate` (timing-agnostic)."""
     level = get_check_level()
     if level != "off":
         check_workload(workload, context=f"simulate:{workload.name}")
@@ -294,8 +413,10 @@ def simulate(
         ecc = ECCConfig(mode=config.metadata_ecc)
     fault_classification = _classify_fault(config, workload, fault, fault_seed, ecc)
     params = energy_params or EnergyParams()
-    row_counts, dirs = block_segments(workload, config)
-    costs = _block_costs(row_counts, config, row_overhead=row_overhead_cycles)
+    with stage("sim.block_segments"):
+        row_counts, dirs = block_segments(workload, config)
+    with stage("sim.block_costs"):
+        costs = _block_costs(row_counts, config, row_overhead=row_overhead_cycles)
 
     # Small layers cannot fill the PE array with blocks alone; replicate
     # tasks across B-column tiles so spatial parallelism is preserved.
@@ -304,13 +425,20 @@ def simulate(
     replication = 1
     if n_blocks < 2 * config.num_pes and k > 1:
         replication = min(k, max(1, math.ceil(2 * config.num_pes / max(1, n_blocks))))
-    task_costs = costs * replication
+    if isinstance(costs, np.ndarray):
+        # list * n concatenates; ndarray * n scales -- tile explicitly.
+        task_costs = np.tile(costs, replication) if replication > 1 else costs
+    else:
+        task_costs = costs * replication
     column_passes = k / replication
 
-    if config.inter_block_scheduling:
-        sched = schedule_sparsity_aware(task_costs, config.num_pes, window=config.scheduler_window)
-    else:
-        sched = schedule_direct(task_costs, config.num_pes)
+    with stage("sim.schedule"):
+        if config.inter_block_scheduling:
+            sched = schedule_sparsity_aware(
+                task_costs, config.num_pes, window=config.scheduler_window
+            )
+        else:
+            sched = schedule_direct(task_costs, config.num_pes)
     compute_cycles = int(math.ceil(sched.makespan * column_passes))
 
     dram = DRAMModel(
@@ -319,17 +447,19 @@ def simulate(
         burst_bytes=config.burst_bytes,
         byte_pj=params.dram_byte_pj,
     )
-    memory_cycles, dram_bytes, mem_detail = _memory_cycles_and_bytes(
-        workload, config, dram, weight_bits=weight_bits, ecc=ecc
-    )
+    with stage("sim.memory"):
+        memory_cycles, dram_bytes, mem_detail = _memory_cycles_and_bytes(
+            workload, config, dram, weight_bits=weight_bits, ecc=ecc
+        )
 
-    codec_visible, codec_elements = _codec_visible_and_elements(
-        workload,
-        config,
-        dirs,
-        costs,
-        overlap_cycles=max(mem_detail["a_cycles"], float(compute_cycles)),
-    )
+    with stage("sim.codec"):
+        codec_visible, codec_elements = _codec_visible_and_elements(
+            workload,
+            config,
+            dirs,
+            costs,
+            overlap_cycles=max(mem_detail["a_cycles"], float(compute_cycles)),
+        )
 
     total_cycles = max(compute_cycles, memory_cycles) + codec_visible + PIPELINE_FILL_CYCLES
     if cycle_budget is not None and total_cycles > cycle_budget:
@@ -357,15 +487,16 @@ def simulate(
         from ..faults.ecc import ecc_words
 
         n_ecc_words = ecc_words(mem_detail["meta_bytes"], ecc)
-    energy = EnergyModel(config, params).report(
-        cycles=total_cycles,
-        macs=macs,
-        dram_bytes=dram_bytes,
-        sram_bytes=sram_bytes,
-        codec_elements=codec_elements,
-        mbd_elements=mbd_elements,
-        ecc_words=n_ecc_words,
-    )
+    with stage("sim.energy"):
+        energy = EnergyModel(config, params).report(
+            cycles=total_cycles,
+            macs=macs,
+            dram_bytes=dram_bytes,
+            sram_bytes=sram_bytes,
+            codec_elements=codec_elements,
+            mbd_elements=mbd_elements,
+            ecc_words=n_ecc_words,
+        )
 
     peak = config.peak_macs_per_cycle
     useful_macs = workload.macs if config.storage_format != "dense" else workload.dense_macs

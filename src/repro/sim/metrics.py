@@ -31,6 +31,11 @@ class SimResult:
     #: ``sim.engine.simulate``'s ``fault`` parameter): one of
     #: ``repro.faults.CLASSES``, or None when no fault was injected.
     fault_classification: Optional[str] = None
+    #: Per-stage wall-time split of this ``simulate()`` call, present only
+    #: when stage timing was enabled (``repro.perf.timers.enable()``):
+    #: ``{stage: {"calls": n, "seconds": s}}``.  Not scaled or aggregated
+    #: -- it describes the simulator, not the modeled hardware.
+    perf_breakdown: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def time_s(self) -> float:

@@ -16,7 +16,7 @@ from typing import Dict, List
 
 from ..core.patterns import PatternFamily
 from .generator import GEMMWorkload, build_workload
-from .layers import MODEL_LAYERS, LayerSpec
+from .layers import MODEL_LAYERS
 
 __all__ = ["ModelWorkload", "ISO_ACCURACY_SPARSITY", "build_model_workload"]
 

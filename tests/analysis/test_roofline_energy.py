@@ -11,7 +11,6 @@ from repro.analysis.roofline import (
 )
 from repro.core.patterns import PatternFamily
 from repro.hw.config import tb_stc, tensor_core
-from repro.sim.baselines import simulate_arch
 from repro.sim.engine import simulate
 from repro.workloads.generator import build_workload
 from repro.workloads.layers import LayerSpec, bert_layers

@@ -1,6 +1,5 @@
 """Tests for the Monte-Carlo fault campaign and its classification."""
 
-import numpy as np
 import pytest
 
 from repro.faults import (

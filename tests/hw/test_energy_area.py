@@ -4,7 +4,7 @@ import pytest
 
 from repro.hw.area import a100_overhead_percent, area_breakdown
 from repro.hw.config import rm_stc, tb_stc, tensor_core
-from repro.hw.energy import EnergyModel, EnergyParams, EnergyReport, scale_energy_between_nodes
+from repro.hw.energy import EnergyModel, EnergyReport, scale_energy_between_nodes
 
 
 class TestTableIIIPower:

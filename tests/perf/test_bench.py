@@ -1,0 +1,193 @@
+"""Benchmark harness: suite runs, JSON round-trip, gate, trajectory."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+@pytest.fixture(scope="module")
+def smoke_run():
+    return bench.run_suite(profile="smoke", seed=0, name="unit")
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="unknown profile"):
+        bench.run_suite(profile="nope")
+
+
+def test_suite_covers_micro_and_macro(smoke_run):
+    names = set(smoke_run["benches"])
+    assert {
+        "block_segments",
+        "dvpe_costs",
+        "schedule_direct",
+        "schedule_sparsity_aware",
+        "codec_batch",
+        "encode_ddc",
+        "encode_sdc",
+        "encode_csr",
+        "encode_bitmap",
+        "simulate_layer",
+        "sweep_fig13_mini",
+    } <= names
+
+
+def test_bench_entries_have_required_fields(smoke_run):
+    for name, entry in smoke_run["benches"].items():
+        assert entry["wall_s"] > 0, name
+        assert entry["cells"] > 0, name
+        assert entry["cells_per_s"] > 0, name
+        assert entry["normalized"] == pytest.approx(
+            entry["wall_s"] / smoke_run["calibration_s"]
+        ), name
+        assert isinstance(entry["stages"], dict), name
+    assert smoke_run["schema"] == bench.SCHEMA_VERSION
+    assert smoke_run["peak_rss_kb"] > 0
+    assert smoke_run["total_wall_s"] > 0
+    assert smoke_run["reference_impl"] is False
+
+
+def test_macro_benches_capture_stage_splits(smoke_run):
+    stages = smoke_run["benches"]["simulate_layer"]["stages"]
+    assert "sim.engine.simulate" in stages
+    assert "sim.schedule" in stages
+
+
+def test_json_roundtrip(tmp_path, smoke_run):
+    path = str(tmp_path / "BENCH_unit.json")
+    bench.write_bench_json(path, smoke_run)
+    loaded = bench.load_bench_json(path)
+    assert loaded == json.loads(json.dumps(smoke_run))
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = str(tmp_path / "BENCH_bad.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"schema": 99, "benches": {}}, fh)
+    with pytest.raises(ValueError, match="schema"):
+        bench.load_bench_json(path)
+
+
+def _mini_report(**normalized):
+    return {
+        "schema": bench.SCHEMA_VERSION,
+        "benches": {
+            name: {"normalized": norm, "wall_s": norm * 0.1}
+            for name, norm in normalized.items()
+        },
+    }
+
+
+def test_compare_passes_within_tolerance():
+    base = _mini_report(a=1.0, b=2.0)
+    cur = _mini_report(a=1.2, b=1.0)  # +20% and a speed-up
+    failures, lines = bench.compare(cur, base, tolerance=0.25)
+    assert failures == []
+    assert len(lines) == 2
+
+
+def test_compare_fails_beyond_tolerance():
+    base = _mini_report(a=1.0)
+    cur = _mini_report(a=1.3)
+    failures, _ = bench.compare(cur, base, tolerance=0.25)
+    assert len(failures) == 1
+    assert "a" in failures[0]
+
+
+def test_compare_is_one_sided():
+    # A 10x speed-up must never fail the gate.
+    failures, _ = bench.compare(_mini_report(a=0.1), _mini_report(a=1.0), tolerance=0.0)
+    assert failures == []
+
+
+def test_compare_reports_added_and_removed_benches_without_failing():
+    failures, lines = bench.compare(_mini_report(new=1.0), _mini_report(old=1.0))
+    assert failures == []
+    assert any("new" in line for line in lines)
+    assert any("only in baseline" in line for line in lines)
+
+
+def test_compare_rejects_negative_tolerance():
+    with pytest.raises(ValueError, match="tolerance"):
+        bench.compare(_mini_report(), _mini_report(), tolerance=-0.1)
+
+
+def test_trajectory_appends_json_lines(tmp_path):
+    path = str(tmp_path / "traj.jsonl")
+    bench.append_trajectory(path, {"step": 1})
+    bench.append_trajectory(path, {"step": 2})
+    with open(path, encoding="utf-8") as fh:
+        entries = [json.loads(line) for line in fh]
+    assert entries == [{"step": 1}, {"step": 2}]
+
+
+def test_calibration_is_positive_and_stable():
+    a = bench.calibrate(reps=2)
+    assert a > 0
+
+
+def test_merge_best_keeps_faster_record_per_bench():
+    slow = _mini_report(a=2.0, b=0.5)
+    fast = _mini_report(a=1.0, b=1.5)
+    for rep in (slow, fast):
+        rep["calibration_s"] = 0.1
+        rep["total_wall_s"] = 1.0
+        rep["peak_rss_kb"] = 100
+    fast["peak_rss_kb"] = 200
+    merged = bench.merge_best(slow, fast)
+    assert merged["benches"]["a"]["normalized"] == 1.0
+    assert merged["benches"]["b"]["normalized"] == 0.5
+    assert merged["total_wall_s"] == pytest.approx(2.0)
+    assert merged["peak_rss_kb"] == 200
+
+
+def test_run_suite_best_takes_per_bench_minimum(smoke_run):
+    merged = bench.run_suite_best("smoke", seed=0, name="best", rounds=2)
+    single = smoke_run
+    assert set(merged["benches"]) == set(single["benches"])
+    for rec in merged["benches"].values():
+        assert rec["normalized"] > 0
+
+
+def test_cli_perf_smoke_and_gate(tmp_path, capsys):
+    from repro.cli import main
+
+    out = str(tmp_path)
+    assert main(["perf", "--profile", "smoke", "--name", "b0", "--out-dir", out]) == 0
+    baseline = str(tmp_path / "BENCH_b0.json")
+    # Self-comparison with a generous tolerance must pass the gate.
+    rc = main([
+        "perf", "--profile", "smoke", "--name", "b1", "--out-dir", out,
+        "--compare", baseline, "--tolerance", "50.0",
+        "--trajectory", str(tmp_path / "traj.jsonl"),
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "perf gate passed" in captured.out
+    with open(tmp_path / "traj.jsonl", encoding="utf-8") as fh:
+        entry = json.loads(fh.readline())
+    assert entry["profile"] == "smoke"
+    assert entry["normalized"]
+
+
+def test_cli_perf_gate_fails_on_fabricated_regression(tmp_path, capsys):
+    from repro.cli import main
+    from repro.perf.bench import load_bench_json, write_bench_json
+
+    out = str(tmp_path)
+    assert main(["perf", "--profile", "smoke", "--name", "base", "--out-dir", out]) == 0
+    path = str(tmp_path / "BENCH_base.json")
+    doctored = load_bench_json(path)
+    for entry in doctored["benches"].values():
+        entry["normalized"] /= 1000.0  # make the baseline impossibly fast
+    write_bench_json(path, doctored)
+    rc = main([
+        "perf", "--profile", "smoke", "--name", "cur", "--out-dir", out,
+        "--compare", path, "--tolerance", "0.25",
+    ])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out

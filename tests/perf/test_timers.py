@@ -1,0 +1,152 @@
+"""Stage-timer semantics: zero overhead when off, nesting, capture deltas."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.perf import timers
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    timers.disable()
+    timers.reset()
+    yield
+    timers.disable()
+    timers.reset()
+
+
+def test_disabled_records_nothing():
+    assert not timers.enabled()
+    with timers.stage("off.outer"):
+        with timers.stage("off.inner"):
+            pass
+    assert timers.snapshot() == {}
+
+
+def test_disabled_stage_is_shared_null_object():
+    # The disabled fast path must not allocate per call.
+    assert timers.stage("a") is timers.stage("b")
+
+
+def test_enable_disable_roundtrip():
+    timers.enable()
+    assert timers.enabled()
+    timers.disable()
+    assert not timers.enabled()
+
+
+def test_stage_records_calls_and_seconds():
+    timers.enable()
+    for _ in range(3):
+        with timers.stage("unit.work"):
+            time.sleep(0.001)
+    snap = timers.snapshot()
+    assert snap["unit.work"]["calls"] == 3
+    assert snap["unit.work"]["seconds"] >= 0.003
+
+
+def test_nested_stages_both_accumulate():
+    timers.enable()
+    with timers.stage("outer"):
+        with timers.stage("inner"):
+            time.sleep(0.001)
+    snap = timers.snapshot()
+    assert snap["outer"]["calls"] == 1
+    assert snap["inner"]["calls"] == 1
+    # Parent total includes the child's time.
+    assert snap["outer"]["seconds"] >= snap["inner"]["seconds"]
+
+
+def test_timed_decorator_counts_only_when_enabled():
+    @timers.timed("deco.fn")
+    def fn(x):
+        return x + 1
+
+    assert fn(1) == 2
+    assert timers.snapshot() == {}
+    timers.enable()
+    assert fn(2) == 3
+    assert timers.snapshot()["deco.fn"]["calls"] == 1
+
+
+def test_timed_preserves_function_metadata():
+    @timers.timed("deco.named")
+    def documented():
+        """doc."""
+
+    assert documented.__name__ == "documented"
+    assert documented.__doc__ == "doc."
+
+
+def test_capture_yields_only_the_delta():
+    timers.enable()
+    with timers.stage("pre.existing"):
+        pass
+    cap = timers.capture()
+    with cap as stages:
+        assert stages == {}  # filled at exit, not during
+        with timers.stage("inside"):
+            pass
+    assert "inside" in stages
+    assert stages["inside"]["calls"] == 1
+    assert "pre.existing" not in stages
+    # Re-entry of a pre-existing stage shows only the new calls.
+    cap2 = timers.capture()
+    with cap2 as stages2:
+        with timers.stage("pre.existing"):
+            pass
+    assert stages2["pre.existing"]["calls"] == 1
+
+
+def test_enabled_scope_restores_previous_state():
+    assert not timers.enabled()
+    with timers.enabled_scope():
+        assert timers.enabled()
+        with timers.enabled_scope():
+            assert timers.enabled()
+        assert timers.enabled()  # inner exit restores "enabled", not "off"
+    assert not timers.enabled()
+
+
+def test_reset_clears_records():
+    timers.enable()
+    with timers.stage("gone"):
+        pass
+    timers.reset()
+    assert timers.snapshot() == {}
+
+
+def test_stage_records_survive_exceptions():
+    timers.enable()
+    with pytest.raises(ValueError):
+        with timers.stage("raises"):
+            raise ValueError("boom")
+    assert timers.snapshot()["raises"]["calls"] == 1
+
+
+def test_simulate_attaches_perf_breakdown_only_when_enabled():
+    from repro.core.patterns import PatternFamily
+    from repro.hw.config import tb_stc
+    from repro.sim.engine import simulate
+    from repro.workloads.generator import build_workload
+    from repro.workloads.layers import LayerSpec
+
+    workload = build_workload(
+        LayerSpec("t", 32, 32, 8), PatternFamily.TBS, sparsity=0.5, m=8, seed=0
+    )
+    config = tb_stc()
+
+    off = simulate(config, workload)
+    assert off.perf_breakdown is None
+
+    with timers.enabled_scope():
+        on = simulate(config, workload)
+    assert on.perf_breakdown
+    assert "sim.engine.simulate" in on.perf_breakdown
+    assert "sim.schedule" in on.perf_breakdown
+    # The timing split must not perturb the simulation itself.
+    assert on.cycles == off.cycles
+    assert on.dram_bytes == off.dram_bytes

@@ -13,7 +13,6 @@ import sys
 import time
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.core.patterns import PatternFamily

@@ -9,7 +9,7 @@ from repro.sim.engine import simulate
 from repro.sim.metrics import SimResult, normalized_edp, speedup
 from repro.hw.energy import EnergyReport
 from repro.workloads.generator import build_workload
-from repro.workloads.layers import LayerSpec, bert_layers
+from repro.workloads.layers import bert_layers
 
 
 def _result(sparsity=0.625, seed=0):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.patterns import Direction, PatternFamily
-from repro.hw.config import stc, tb_stc, tensor_core
+from repro.hw.config import tb_stc, tensor_core
 from repro.sim.engine import PIPELINE_FILL_CYCLES, block_segments, simulate
 from repro.sim.baselines import arch_by_name, simulate_arch, simulate_layer_sweep
 from repro.sim.metrics import aggregate, normalized_edp, speedup

@@ -1,6 +1,5 @@
 """Fault injection, ECC overheads and cycle budgets through simulate()."""
 
-import numpy as np
 import pytest
 
 from repro.core.patterns import PatternFamily

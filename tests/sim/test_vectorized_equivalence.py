@@ -1,0 +1,269 @@
+"""Vectorized hot paths agree bit-exactly with the loop references.
+
+The perf subsystem's dual-implementation policy (DESIGN.md): every
+vectorized path keeps its original loop implementation selectable with
+``REPRO_REFERENCE_IMPL=1``.  This suite is the proof that the two
+produce *identical* results -- not approximately equal: simulator cycle
+counts and float energies are compared through ``float.hex`` so a
+single-ulp divergence fails.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import REFERENCE_ENV
+
+
+@contextmanager
+def reference_impl():
+    prev = os.environ.get(REFERENCE_ENV)
+    os.environ[REFERENCE_ENV] = "1"
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(REFERENCE_ENV, None)
+        else:
+            os.environ[REFERENCE_ENV] = prev
+
+
+def _hexify(x):
+    """Recursively map floats to their hex form so == means bit-equal."""
+    if isinstance(x, float):
+        return x.hex()
+    if isinstance(x, dict):
+        return {k: _hexify(v) for k, v in sorted(x.items())}
+    if isinstance(x, (list, tuple)):
+        return [_hexify(v) for v in x]
+    return x
+
+
+# ---------------------------------------------------------------------------
+# DVPE cost model
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    n_blocks=st.integers(1, 24),
+    m=st.sampled_from([4, 8]),
+    lanes=st.sampled_from([2, 4, 8]),
+    port=st.sampled_from([1, 2, 4]),
+    alternate=st.booleans(),
+    depth=st.sampled_from([0, 2, 8]),
+    balanced=st.booleans(),
+)
+def test_dvpe_batch_matches_scalar(seed, n_blocks, m, lanes, port, alternate, depth, balanced):
+    from repro.hw.dvpe import DVPE, BlockWork
+
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, m + 1, size=(n_blocks, m)).astype(np.int64)
+    pe = DVPE(
+        lanes=lanes,
+        output_port_width=port,
+        alternate_unit=alternate,
+        alternate_buffer_depth=depth,
+        intra_block_mapping=balanced,
+    )
+    batch = pe.block_costs_batch(counts)
+    scalar = [
+        pe.block_cost(BlockWork(tuple(int(c) for c in row), m=m)) for row in counts
+    ]
+    assert batch.tolist() == scalar
+
+
+# ---------------------------------------------------------------------------
+# schedulers
+# ---------------------------------------------------------------------------
+
+
+_COST_LISTS = st.one_of(
+    st.lists(st.integers(0, 40), min_size=0, max_size=64),
+    st.lists(st.floats(0.0, 40.0, allow_nan=False, width=64), min_size=0, max_size=64),
+)
+
+
+def _schedule_fields(res):
+    # Scalar *types* may legitimately differ (the reference initialises
+    # per-PE busy time with int 0; float costs promote only touched
+    # slots), so compare through float, which is exact for every cost
+    # magnitude generated here, and hexify so equality means bit-equal.
+    return (
+        float(res.makespan).hex(),
+        float(res.total_work).hex(),
+        res.num_pes,
+        [float(b).hex() for b in res.per_pe_busy],
+        [
+            (int(a.block), int(a.pe), float(a.start).hex(), float(a.end).hex())
+            for a in res.assignments
+        ],
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(costs=_COST_LISTS, num_pes=st.integers(1, 8), record=st.booleans())
+def test_schedule_direct_matches_reference(costs, num_pes, record):
+    from repro.hw.scheduler import schedule_direct
+
+    fast = schedule_direct(costs, num_pes, record=record)
+    with reference_impl():
+        ref = schedule_direct(costs, num_pes, record=record)
+    assert _schedule_fields(fast) == _schedule_fields(ref)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    costs=_COST_LISTS,
+    num_pes=st.integers(1, 8),
+    window=st.integers(1, 16),
+    record=st.booleans(),
+)
+def test_schedule_sparsity_aware_matches_reference(costs, num_pes, window, record):
+    from repro.hw.scheduler import schedule_sparsity_aware
+
+    fast = schedule_sparsity_aware(costs, num_pes, window=window, record=record)
+    with reference_impl():
+        ref = schedule_sparsity_aware(costs, num_pes, window=window, record=record)
+    assert _schedule_fields(fast) == _schedule_fields(ref)
+
+
+# ---------------------------------------------------------------------------
+# storage formats
+# ---------------------------------------------------------------------------
+
+
+def _random_sparse(seed, rows, cols, density):
+    rng = np.random.default_rng(seed)
+    keep = rng.random((rows, cols)) < density
+    return np.where(keep, rng.normal(size=(rows, cols)), 0.0)
+
+
+def _assert_encoded_equal(a, b):
+    assert a.format_name == b.format_name
+    assert a.shape == b.shape
+    assert a.nnz == b.nnz
+    assert a.value_bytes == b.value_bytes
+    assert a.index_bytes == b.index_bytes
+    assert a.meta_bytes == b.meta_bytes
+    assert a.segments == b.segments
+    assert sorted(a.arrays) == sorted(b.arrays)
+    for key in a.arrays:
+        left, right = a.arrays[key], b.arrays[key]
+        if left.dtype == object:
+            assert len(left) == len(right), key
+            for i, (x, y) in enumerate(zip(left, right)):
+                if isinstance(x, np.ndarray):
+                    assert np.array_equal(x, y), (key, i)
+                else:
+                    assert x == y, (key, i)
+        else:
+            assert np.array_equal(left, right), key
+
+
+def _make_format(name):
+    from repro.formats.bitmap import BitmapFormat
+    from repro.formats.csr import CSRFormat
+    from repro.formats.ddc import DDCFormat
+    from repro.formats.sdc import SDCFormat
+
+    return {
+        "ddc": DDCFormat,
+        "sdc": lambda: SDCFormat(group_rows=8),
+        "csr": CSRFormat,
+        "bitmap": BitmapFormat,
+    }[name]()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    fmt_name=st.sampled_from(["ddc", "sdc", "csr", "bitmap"]),
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.sampled_from([8, 16, 24]),
+    cols=st.sampled_from([8, 16, 32]),
+    density=st.floats(0.0, 1.0),
+)
+def test_format_encode_matches_reference(fmt_name, seed, rows, cols, density):
+    fmt = _make_format(fmt_name)
+    dense = _random_sparse(seed, rows, cols, density)
+    fast = fmt.encode(dense, block_size=8)
+    with reference_impl():
+        ref = fmt.encode(dense, block_size=8)
+    _assert_encoded_equal(fast, ref)
+    assert np.array_equal(fmt.decode(fast), dense)
+    assert np.array_equal(fmt.decode(ref), dense)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    rows=st.sampled_from([16, 32]),
+    cols=st.sampled_from([16, 32]),
+    sparsity=st.sampled_from([0.5, 0.75, 0.875]),
+)
+def test_ddc_encode_with_tbs_matches_reference(seed, rows, cols, sparsity):
+    from repro.core.sparsify import tbs_sparsify
+    from repro.formats.ddc import DDCFormat
+
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(rows, cols))
+    tbs = tbs_sparsify(weights, m=8, sparsity=sparsity)
+    dense = np.where(tbs.mask, weights, 0.0)
+    fmt = DDCFormat()
+    fast = fmt.encode(dense, tbs=tbs, block_size=8)
+    with reference_impl():
+        ref = fmt.encode(dense, tbs=tbs, block_size=8)
+    _assert_encoded_equal(fast, ref)
+    assert np.array_equal(fmt.decode(fast), dense)
+
+
+# ---------------------------------------------------------------------------
+# full simulator
+# ---------------------------------------------------------------------------
+
+
+def _result_fingerprint(res):
+    return _hexify(
+        {
+            "cycles": int(res.cycles),
+            "compute_cycles": int(res.compute_cycles),
+            "memory_cycles": int(res.memory_cycles),
+            "codec_visible_cycles": int(res.codec_visible_cycles),
+            "macs": int(res.macs),
+            "dram_bytes": float(res.dram_bytes),
+            "total_j": float(res.energy.total_j),
+            "energy_components": {k: float(v) for k, v in res.energy.components.items()},
+            "compute_utilization": float(res.compute_utilization),
+            "bandwidth_utilization": float(res.bandwidth_utilization),
+            "breakdown": {k: float(v) for k, v in res.breakdown.items()},
+        }
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    arch=st.sampled_from(["TC", "STC", "VEGETA", "HighLight", "RM-STC", "TB-STC"]),
+    sparsity=st.sampled_from([0.5, 0.75, 0.875]),
+)
+def test_simulate_bit_exact_vs_reference(seed, arch, sparsity):
+    from repro.core.patterns import PatternFamily
+    from repro.sim.baselines import ARCH_FAMILY, arch_by_name, simulate_arch
+    from repro.workloads.generator import build_workload
+    from repro.workloads.layers import LayerSpec
+
+    config = arch_by_name(arch)
+    family = ARCH_FAMILY.get(arch, PatternFamily.TBS)
+    layer = LayerSpec("equiv", 32, 32, 16)
+    workload = build_workload(layer, family, sparsity, m=8, seed=seed)
+
+    fast = simulate_arch(config, workload)
+    with reference_impl():
+        ref = simulate_arch(config, workload)
+    assert _result_fingerprint(fast) == _result_fingerprint(ref)

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.patterns import Direction, PatternFamily
-from repro.nn import apply_masks, cluster_dataset, make_mlp, train
+from repro.core.patterns import PatternFamily
+from repro.nn import cluster_dataset, make_mlp, train
 from repro.nn.models import prunable_layers
 from repro.sim import simulate, verify_workload
 from repro.hw.config import tb_stc
