@@ -25,6 +25,20 @@ def pytest_addoption(parser):
         metavar="JSONL",
         help="append each figure benchmark's wall time to this bench-trajectory file",
     )
+    parser.addoption(
+        "--sweep-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard grid-shaped experiment drivers across N worker processes "
+        "(sets REPRO_SWEEP_WORKERS; results are identical at any N)",
+    )
+
+
+def pytest_configure(config):
+    workers = config.getoption("--sweep-workers")
+    if workers:
+        os.environ["REPRO_SWEEP_WORKERS"] = str(workers)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -63,6 +77,7 @@ def once(benchmark, request):
         result = run_once(benchmark, fn, *args, **kwargs)
         if record_path:
             from repro.perf.bench import append_trajectory
+            from repro.sweep import configured_workers
 
             append_trajectory(
                 record_path,
@@ -71,6 +86,7 @@ def once(benchmark, request):
                     "test": request.node.nodeid,
                     "fn": getattr(fn, "__name__", "bench"),
                     "wall_s": time.perf_counter() - t0,
+                    "workers": configured_workers(),
                 },
             )
         return result

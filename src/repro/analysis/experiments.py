@@ -3,18 +3,28 @@
 Every driver is deterministic given its seed(s), returns plain dicts the
 benchmarks/examples can assert on and render, and accepts size knobs so
 the benches run in seconds while the examples can run bigger instances.
+
+The grid-shaped drivers (Tables I/II, the fig13/fig15 simulator sweeps,
+the fig17 distribution scan) decompose into independent cells executed
+through the sweep engine (:mod:`repro.sweep`): ``workers=N`` shards the
+grid across a process pool, ``workers=1`` (the default) runs the same
+cell bodies inline and reproduces the historical serial numbers
+bit-exactly, because aggregation always folds cell values in grid order
+-- never in completion order.  Cell functions are module-level (and so
+picklable); simulator cells ship their results across the process
+boundary as versioned ``SimResult.to_dict()`` payloads.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.criteria import sparsegpt_scores, wanda_scores
 from ..core.maskspace import maskspace_table
 from ..core.patterns import PatternFamily
-from ..core.similarity import direction_distribution, pattern_similarity_sweep
+from ..core.similarity import pattern_similarity_sweep
 from ..core.sparsify import tbs_sparsify
 from ..formats.memory_model import compare_formats
 from ..hw.area import a100_overhead_percent, area_breakdown
@@ -29,6 +39,8 @@ from ..sim.baselines import ARCH_FAMILY, arch_by_name, simulate_arch
 from ..sim.breakdown import codec_overhead_fraction, cycle_breakdown
 from ..sim.engine import simulate
 from ..sim.metrics import SimResult, aggregate, normalized_edp, speedup
+from ..sim.options import SimOptions
+from ..sweep import SweepCell, SweepSpec, configured_workers, run_sweep
 from ..workloads.generator import build_workload, synthetic_weights
 from ..workloads.layers import LayerSpec, bert_layers, resnet50_layers
 from ..workloads.models import build_model_workload
@@ -95,6 +107,9 @@ def run_experiment(
     seeds: Sequence[int] = (0,),
     epochs: int = 8,
     scale: int = 4,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ):
     """Compute the raw data behind one paper table/figure by name.
 
@@ -104,12 +119,18 @@ def run_experiment(
     runner (:class:`repro.runtime.runner.ExperimentRunner`) can cache
     cells on disk and ``repro report all`` can resume mid-sweep.
     Rendering stays in :mod:`repro.cli`.
+
+    ``workers``/``cache_dir``/``resume`` thread through to the
+    grid-shaped drivers (table1, table2, fig13, fig15, fig17), which
+    shard their cells across the sweep engine; single-shot drivers
+    ignore them.
     """
     seeds = tuple(seeds)
+    sweep = dict(workers=workers, cache_dir=cache_dir, resume=resume)
     if name == "table1":
-        return run_table1(seeds=seeds, epochs=epochs)
+        return run_table1(seeds=seeds, epochs=epochs, **sweep)
     if name == "table2":
-        return run_table2(seeds=seeds, epochs=epochs)
+        return run_table2(seeds=seeds, epochs=epochs, **sweep)
     if name == "table3":
         return run_table3()
     if name == "fig1":
@@ -123,15 +144,15 @@ def run_experiment(
     if name == "fig12":
         return run_fig12_layerwise(scale=scale)
     if name == "fig13":
-        return run_fig13_end2end(scale=max(scale, 8))
+        return run_fig13_end2end(scale=max(scale, 8), **sweep)
     if name == "fig14":
         return run_fig14_breakdown(scale=scale)
     if name == "fig15":
         return {
-            "block_size": run_fig15_block_size(scale=scale, epochs=epochs),
+            "block_size": run_fig15_block_size(scale=scale, epochs=epochs, **sweep),
             "quantization": run_fig15_quantization(epochs=epochs, scale=scale),
-            "bandwidth": run_fig15_bandwidth(scale=scale),
-            "sparsity_sweep": run_fig15_sparsity_sweep(scale=scale),
+            "bandwidth": run_fig15_bandwidth(scale=scale, **sweep),
+            "sparsity_sweep": run_fig15_sparsity_sweep(scale=scale, **sweep),
         }
     if name == "fig16":
         return {
@@ -139,7 +160,7 @@ def run_experiment(
             "scheduling": run_fig16_scheduling_ablation(scale=scale),
         }
     if name == "fig17":
-        return run_fig17_distribution()
+        return run_fig17_distribution(**sweep)
     if name == "fig18":
         return run_fig18_convergence(epochs=epochs)
     raise ValueError(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
@@ -208,11 +229,41 @@ def _proxy(task: str, seed: int):
     return model, data
 
 
+def _family_by_name(name: str) -> Optional[PatternFamily]:
+    """``"Dense"`` -> ``None``, else the named pattern family."""
+    return None if name == "Dense" else PatternFamily[name]
+
+
+def _table1_cell(
+    task: str,
+    sparsity: float,
+    family: str,
+    seed: int,
+    epochs: int,
+    ts_cap: Optional[float],
+) -> float:
+    """One Table I grid point: train one (task, family, seed) model."""
+    model, data = _proxy(task, seed)
+    res = train(
+        model,
+        data,
+        family=_family_by_name(family),
+        sparsity=sparsity,
+        epochs=epochs,
+        seed=seed,
+        ts_cap=ts_cap,
+    )
+    return res.test_accuracy
+
+
 def run_table1(
     tasks: Sequence[Tuple[str, float]] = (("cnn", 0.75), ("encoder", 0.5), ("mlp", 0.75)),
     seeds: Sequence[int] = (0, 1, 2),
     epochs: int = 10,
     ts_cap: Optional[float] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Table I -- sparse-training accuracy per pattern family.
 
@@ -221,27 +272,86 @@ def run_table1(
     ``ts_cap=None`` runs TS at matched sparsity (iso-sparsity protocol);
     pass ``0.5`` for the paper's hardware-pinned 4:8 footnote variant.
     Returns ``{task: {family_or_Dense: mean accuracy}}``.
+
+    The (task x seed x family) grid runs through the sweep engine;
+    per-family means always fold accuracies in seed order, so the result
+    is bit-identical at any worker count.
     """
+    family_names = ["Dense"] + [family.name for family in ACCURACY_FAMILIES]
+    cells = [
+        SweepCell(
+            key=f"{task}@{sparsity}/seed{seed}/{family}",
+            fn=_table1_cell,
+            kwargs={
+                "task": task,
+                "sparsity": sparsity,
+                "family": family,
+                "seed": seed,
+                "epochs": epochs,
+                "ts_cap": ts_cap,
+            },
+        )
+        for task, sparsity in tasks
+        for seed in seeds
+        for family in family_names
+    ]
+    sweep = run_sweep(
+        SweepSpec("table1", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        strict=True,
+    )
     results: Dict[str, Dict[str, float]] = {}
     for task, sparsity in tasks:
-        per_family: Dict[str, List[float]] = {"Dense": []}
-        for family in ACCURACY_FAMILIES:
-            per_family[family.name] = []
+        per_family: Dict[str, List[float]] = {name: [] for name in family_names}
         for seed in seeds:
-            for family in [None] + ACCURACY_FAMILIES:
-                model, data = _proxy(task, seed)
-                res = train(
-                    model,
-                    data,
-                    family=family,
-                    sparsity=sparsity,
-                    epochs=epochs,
-                    seed=seed,
-                    ts_cap=ts_cap,
-                )
-                per_family[family.name if family else "Dense"].append(res.test_accuracy)
+            for family in family_names:
+                per_family[family].append(sweep.value(f"{task}@{sparsity}/seed{seed}/{family}"))
         results[task] = {name: float(np.mean(vals)) for name, vals in per_family.items()}
     return results
+
+
+def _table2_cell(
+    task: str,
+    sparsity: float,
+    criteria: Sequence[str],
+    seed: int,
+    epochs: int,
+) -> Dict[str, Any]:
+    """One Table II grid point: dense-train one (task, seed) model, then
+    one-shot prune it with every criterion x family from the same
+    snapshot (the expensive dense training is shared inside the cell).
+    """
+    model, data = _proxy(task, seed)
+    train(model, data, family=None, epochs=epochs, seed=seed)
+    dense_acc = evaluate(model, data[2], data[3])
+    snap = snapshot_params(model)
+    calib = data[0][:64]
+    acts = capture_layer_inputs(model, calib)
+
+    per_criterion: Dict[str, Dict[str, float]] = {}
+    for criterion in criteria:
+
+        def score_fn(layer, _criterion=criterion):
+            w2d = layer.weight_matrix()
+            layer_acts = acts[id(layer)]
+            if _criterion == "wanda":
+                return wanda_scores(w2d, layer_acts)
+            if _criterion == "sparsegpt":
+                return sparsegpt_scores(w2d, layer_acts)
+            if _criterion == "magnitude":
+                return np.abs(w2d)
+            raise ValueError(f"unknown criterion {_criterion!r}")
+
+        accs: Dict[str, float] = {}
+        for family in ACCURACY_FAMILIES:
+            restore_params(model, snap)
+            one_shot_prune(model, family, sparsity, score_fn=score_fn, ts_cap=None)
+            accs[family.name] = evaluate(model, data[2], data[3])
+        per_criterion[criterion] = accs
+    restore_params(model, snap)
+    return {"dense": dense_acc, "criteria": per_criterion}
 
 
 def run_table2(
@@ -249,6 +359,9 @@ def run_table2(
     criteria: Sequence[str] = ("wanda", "sparsegpt"),
     seeds: Sequence[int] = (0, 1, 2),
     epochs: int = 10,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, float]]:
     """Table II -- one-shot pruning accuracy per (criterion, family).
 
@@ -256,38 +369,44 @@ def run_table2(
     then pruned one-shot at 50% with each criterion x pattern and
     evaluated without retraining.  Returns
     ``{f"{task}/{criterion}": {family_or_Dense: mean accuracy}}``.
+
+    Cells are (task, seed) pairs -- the dense training dominates, so the
+    criterion x family pruning rides inside each cell; aggregation folds
+    accuracies in seed order for bit-identical means at any worker count.
     """
+    criteria = tuple(criteria)
+    cells = [
+        SweepCell(
+            key=f"{task}@{sparsity}/seed{seed}",
+            fn=_table2_cell,
+            kwargs={
+                "task": task,
+                "sparsity": sparsity,
+                "criteria": criteria,
+                "seed": seed,
+                "epochs": epochs,
+            },
+        )
+        for task, sparsity in tasks
+        for seed in seeds
+    ]
+    sweep = run_sweep(
+        SweepSpec("table2", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        strict=True,
+    )
     results: Dict[str, Dict[str, List[float]]] = {}
     for task, sparsity in tasks:
         for seed in seeds:
-            model, data = _proxy(task, seed)
-            train(model, data, family=None, epochs=epochs, seed=seed)
-            dense_acc = evaluate(model, data[2], data[3])
-            snap = snapshot_params(model)
-            calib = data[0][:64]
-            acts = capture_layer_inputs(model, calib)
-
+            cell = sweep.value(f"{task}@{sparsity}/seed{seed}")
             for criterion in criteria:
                 key = f"{task}/{criterion}"
                 bucket = results.setdefault(key, {})
-                bucket.setdefault("Dense", []).append(dense_acc)
-
-                def score_fn(layer, _criterion=criterion):
-                    w2d = layer.weight_matrix()
-                    layer_acts = acts[id(layer)]
-                    if _criterion == "wanda":
-                        return wanda_scores(w2d, layer_acts)
-                    if _criterion == "sparsegpt":
-                        return sparsegpt_scores(w2d, layer_acts)
-                    if _criterion == "magnitude":
-                        return np.abs(w2d)
-                    raise ValueError(f"unknown criterion {_criterion!r}")
-
+                bucket.setdefault("Dense", []).append(cell["dense"])
                 for family in ACCURACY_FAMILIES:
-                    restore_params(model, snap)
-                    one_shot_prune(model, family, sparsity, score_fn=score_fn, ts_cap=None)
-                    bucket.setdefault(family.name, []).append(evaluate(model, data[2], data[3]))
-            restore_params(model, snap)
+                    bucket.setdefault(family.name, []).append(cell["criteria"][criterion][family.name])
     return {key: {n: float(np.mean(v)) for n, v in bucket.items()} for key, bucket in results.items()}
 
 
@@ -319,21 +438,65 @@ def run_fig4_maskspace(x: int = 64, y: int = 64, m: int = 8, seed: int = 0) -> D
     }
 
 
+def _fig17_cell(sparsity: float, seed: int) -> List[Dict[str, int]]:
+    """One Fig. 17 grid point: per-layer direction histograms at one
+    sparsity (plain int counts, cheap to ship across processes)."""
+    histograms: List[Dict[str, int]] = []
+    for i, layer in enumerate(resnet50_layers()[:6]):
+        spec = layer.scaled(4)
+        weights = synthetic_weights(spec.rows, spec.cols, seed=seed + i)
+        histograms.append(tbs_sparsify(weights, m=8, sparsity=sparsity).direction_histogram())
+    return histograms
+
+
+def _histogram_fractions(histograms: Sequence[Dict[str, int]]) -> Dict[str, float]:
+    """Fold per-layer direction histograms into Fig. 17 fractions
+    (integer sums, so the result is independent of fold order)."""
+    totals = {"row": 0, "col": 0, "other": 0}
+    for hist in histograms:
+        for key in totals:
+            totals[key] += hist[key]
+    count = sum(totals.values())
+    if count == 0:
+        return {key: 0.0 for key in totals}
+    return {key: value / count for key, value in totals.items()}
+
+
 def run_fig17_distribution(
-    sparsities: Sequence[float] = (0.5, 0.75, 0.875), seed: int = 0
+    sparsities: Sequence[float] = (0.5, 0.75, 0.875),
+    seed: int = 0,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, float]]:
-    """Fig. 17 -- block-direction distribution of TBS-pruned layers."""
+    """Fig. 17 -- block-direction distribution of TBS-pruned layers.
+
+    One sweep cell per sparsity degree; cells return integer block
+    counts, so both the per-sparsity and the pooled "Total" rows are
+    exact whatever order the cells finished in.
+    """
+    cells = [
+        SweepCell(
+            key=f"sparsity={sparsity}",
+            fn=_fig17_cell,
+            kwargs={"sparsity": sparsity, "seed": seed},
+        )
+        for sparsity in sparsities
+    ]
+    sweep = run_sweep(
+        SweepSpec("fig17", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        strict=True,
+    )
     out: Dict[str, Dict[str, float]] = {}
-    all_results = []
+    all_histograms: List[Dict[str, int]] = []
     for sparsity in sparsities:
-        results = []
-        for i, layer in enumerate(resnet50_layers()[:6]):
-            spec = layer.scaled(4)
-            weights = synthetic_weights(spec.rows, spec.cols, seed=seed + i)
-            results.append(tbs_sparsify(weights, m=8, sparsity=sparsity))
-        out[f"sparsity={sparsity:.0%}"] = direction_distribution(results)
-        all_results.extend(results)
-    out["Total"] = direction_distribution(all_results)
+        histograms = sweep.value(f"sparsity={sparsity}")
+        out[f"sparsity={sparsity:.0%}"] = _histogram_fractions(histograms)
+        all_histograms.extend(histograms)
+    out["Total"] = _histogram_fractions(all_histograms)
     return out
 
 
@@ -408,22 +571,54 @@ def run_fig12_layerwise(
     return out
 
 
+def _fig13_cell(model: str, arch: str, scale: int, seed: int) -> Dict[str, Any]:
+    """One Fig. 13 grid point: a whole model on one architecture.
+
+    Ships the aggregated :class:`SimResult` across the process boundary
+    as its versioned ``to_dict()`` payload.
+    """
+    config = arch_by_name(arch)
+    family = ARCH_FAMILY[arch]
+    bundle = build_model_workload(model, family, m=8, seed=seed, scale=scale)
+    layer_results = [simulate_arch(config, wl) for wl in bundle.layers]
+    return aggregate(layer_results, bundle.repeats).to_dict()
+
+
 def run_fig13_end2end(
     models: Sequence[str] = ("resnet50", "bert", "opt-6.7b"),
     arch_names: Sequence[str] = ("TC", "STC", "VEGETA", "HighLight", "RM-STC", "TB-STC"),
     scale: int = 8,
     seed: int = 0,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Fig. 13 -- end-to-end iso-accuracy speedup and normalized EDP."""
+    """Fig. 13 -- end-to-end iso-accuracy speedup and normalized EDP.
+
+    One sweep cell per (model, architecture); normalization against the
+    TC baseline happens after the sweep, from the spec-ordered results.
+    """
+    cells = [
+        SweepCell(
+            key=f"{model}/{name}",
+            fn=_fig13_cell,
+            kwargs={"model": model, "arch": name, "scale": scale, "seed": seed},
+        )
+        for model in models
+        for name in arch_names
+    ]
+    sweep = run_sweep(
+        SweepSpec("fig13", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        strict=True,
+    )
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
     for model in models:
-        per_arch: Dict[str, SimResult] = {}
-        for name in arch_names:
-            config = arch_by_name(name)
-            family = ARCH_FAMILY[name]
-            bundle = build_model_workload(model, family, m=8, seed=seed, scale=scale)
-            layer_results = [simulate_arch(config, wl) for wl in bundle.layers]
-            per_arch[name] = aggregate(layer_results, bundle.repeats)
+        per_arch: Dict[str, SimResult] = {
+            name: SimResult.from_dict(sweep.value(f"{model}/{name}")) for name in arch_names
+        }
         base = per_arch["TC"]
         out[model] = {
             "speedup": {n: speedup(r, base) for n, r in per_arch.items()},
@@ -450,6 +645,25 @@ def run_fig14_breakdown(scale: int = 4, seed: int = 0) -> Dict[str, Dict[str, fl
 # ---------------------------------------------------------------------------
 
 
+def _fig15_block_cell(
+    m: int, sparsity: float, seed: int, epochs: int, scale: int, with_accuracy: bool
+) -> Dict[str, float]:
+    """One Fig. 15(a) grid point: speedup (and optionally accuracy) at
+    one block size.  Each cell recomputes the cheap dense baseline so it
+    stays a pure function of its kwargs."""
+    layer = resnet50_layers()[8]
+    base_workload = build_workload(layer, PatternFamily.US, 0.0, seed=seed, scale=scale)
+    dense = simulate_arch(arch_by_name("TC"), base_workload)
+    workload = build_workload(layer, PatternFamily.TBS, sparsity, m=m, seed=seed, scale=scale)
+    result = simulate_arch(tb_stc(), workload)
+    entry = {"speedup": speedup(result, dense)}
+    if with_accuracy:
+        model, data = _proxy("mlp", seed)
+        res = train(model, data, family=PatternFamily.TBS, sparsity=sparsity, epochs=epochs, m=m, seed=seed)
+        entry["accuracy"] = res.test_accuracy
+    return entry
+
+
 def run_fig15_block_size(
     block_sizes: Sequence[int] = (4, 8, 16, 32),
     sparsity: float = 0.75,
@@ -457,22 +671,34 @@ def run_fig15_block_size(
     epochs: int = 8,
     scale: int = 4,
     with_accuracy: bool = True,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[int, Dict[str, float]]:
     """Fig. 15(a) -- block size vs speedup and accuracy."""
-    layer = resnet50_layers()[8]
-    base_workload = build_workload(layer, PatternFamily.US, 0.0, seed=seed, scale=scale)
-    dense = simulate_arch(arch_by_name("TC"), base_workload)
-    out: Dict[int, Dict[str, float]] = {}
-    for m in block_sizes:
-        workload = build_workload(layer, PatternFamily.TBS, sparsity, m=m, seed=seed, scale=scale)
-        result = simulate_arch(tb_stc(), workload)
-        entry = {"speedup": speedup(result, dense)}
-        if with_accuracy:
-            model, data = _proxy("mlp", seed)
-            res = train(model, data, family=PatternFamily.TBS, sparsity=sparsity, epochs=epochs, m=m, seed=seed)
-            entry["accuracy"] = res.test_accuracy
-        out[m] = entry
-    return out
+    cells = [
+        SweepCell(
+            key=f"m={m}",
+            fn=_fig15_block_cell,
+            kwargs={
+                "m": m,
+                "sparsity": sparsity,
+                "seed": seed,
+                "epochs": epochs,
+                "scale": scale,
+                "with_accuracy": with_accuracy,
+            },
+        )
+        for m in block_sizes
+    ]
+    sweep = run_sweep(
+        SweepSpec("fig15-block-size", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        strict=True,
+    )
+    return {m: sweep.value(f"m={m}") for m in block_sizes}
 
 
 def run_fig15_quantization(
@@ -493,7 +719,7 @@ def run_fig15_quantization(
     layer = resnet50_layers()[8]
     workload = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
     fp16 = simulate(tb_stc(), workload)
-    int8 = simulate(tb_stc(), workload, weight_bits=8)
+    int8 = simulate(tb_stc(), workload, options=SimOptions(weight_bits=8))
     return {
         "sparse_accuracy": sparse_acc,
         "quantized_accuracy": quant_acc,
@@ -502,41 +728,86 @@ def run_fig15_quantization(
     }
 
 
+def _fig15_bandwidth_cell(bw: float, sparsity: float, seed: int, scale: int) -> float:
+    """One Fig. 15(c) grid point: simulated cycles at one DRAM bandwidth."""
+    layer = bert_layers()[2]
+    workload = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
+    return simulate_arch(tb_stc(dram_bandwidth_gbs=float(bw)), workload).cycles
+
+
 def run_fig15_bandwidth(
     bandwidths: Sequence[float] = (32, 64, 128, 256, 512),
     sparsity: float = 0.75,
     seed: int = 0,
     scale: int = 4,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[float, float]:
-    """Fig. 15(c) -- normalized speedup vs off-chip bandwidth."""
+    """Fig. 15(c) -- normalized speedup vs off-chip bandwidth.
+
+    Cells return raw cycle counts; normalization against the lowest
+    bandwidth point happens after the sweep.
+    """
+    cells = [
+        SweepCell(
+            key=f"bw={bw}",
+            fn=_fig15_bandwidth_cell,
+            kwargs={"bw": bw, "sparsity": sparsity, "seed": seed, "scale": scale},
+        )
+        for bw in bandwidths
+    ]
+    sweep = run_sweep(
+        SweepSpec("fig15-bandwidth", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        strict=True,
+    )
+    cycles = {bw: sweep.value(f"bw={bw}") for bw in bandwidths}
+    base_cycles = cycles[bandwidths[0]]
+    return {bw: base_cycles / c for bw, c in cycles.items()}
+
+
+def _fig15_sparsity_cell(sparsity: float, seed: int, scale: int) -> Dict[str, float]:
+    """One Fig. 15(d) grid point: TB-STC vs SGCN at one sparsity."""
     layer = bert_layers()[2]
-    workload = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
-    results = {
-        bw: simulate_arch(tb_stc(dram_bandwidth_gbs=float(bw)), workload) for bw in bandwidths
+    tb_wl = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
+    us_wl = build_workload(layer, PatternFamily.US, sparsity, seed=seed, scale=scale)
+    tb = simulate_arch(tb_stc(), tb_wl)
+    sg = simulate_arch(arch_by_name("SGCN"), us_wl)
+    return {
+        "TB-STC_cycles": float(tb.cycles),
+        "SGCN_cycles": float(sg.cycles),
+        "tb_over_sgcn": sg.cycles / tb.cycles,
     }
-    base_cycles = results[bandwidths[0]].cycles
-    return {bw: base_cycles / res.cycles for bw, res in results.items()}
 
 
 def run_fig15_sparsity_sweep(
     sparsities: Sequence[float] = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95),
     seed: int = 0,
     scale: int = 4,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[float, Dict[str, float]]:
     """Fig. 15(d) -- TB-STC vs SGCN across sparsity degrees."""
-    layer = bert_layers()[2]
-    out: Dict[float, Dict[str, float]] = {}
-    for sparsity in sparsities:
-        tb_wl = build_workload(layer, PatternFamily.TBS, sparsity, seed=seed, scale=scale)
-        us_wl = build_workload(layer, PatternFamily.US, sparsity, seed=seed, scale=scale)
-        tb = simulate_arch(tb_stc(), tb_wl)
-        sg = simulate_arch(arch_by_name("SGCN"), us_wl)
-        out[sparsity] = {
-            "TB-STC_cycles": float(tb.cycles),
-            "SGCN_cycles": float(sg.cycles),
-            "tb_over_sgcn": sg.cycles / tb.cycles,
-        }
-    return out
+    cells = [
+        SweepCell(
+            key=f"sparsity={sparsity}",
+            fn=_fig15_sparsity_cell,
+            kwargs={"sparsity": sparsity, "seed": seed, "scale": scale},
+        )
+        for sparsity in sparsities
+    ]
+    sweep = run_sweep(
+        SweepSpec("fig15-sparsity", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        strict=True,
+    )
+    return {sparsity: sweep.value(f"sparsity={sparsity}") for sparsity in sparsities}
 
 
 # ---------------------------------------------------------------------------

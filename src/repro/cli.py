@@ -1,29 +1,39 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Five commands:
+Six commands:
 
 * ``report`` -- run one (or all) of the paper's experiments and print
   its table(s); experiment names follow the paper (``table1`` ...
   ``fig18``).  Experiments run through the fault-tolerant runner
   (:mod:`repro.runtime.runner`): a crash in one figure no longer kills
   the sweep, and with ``--checkpoint-dir``/``--resume`` completed cells
-  are cached on disk and replayed instead of recomputed.
+  are cached on disk and replayed instead of recomputed.  ``--workers N``
+  shards the grid-shaped experiments inside each figure across a
+  process pool (:mod:`repro.sweep`) without changing the numbers.
+* ``sweep`` -- run one experiment directly through the parallel sweep
+  engine with per-cell progress, ``--workers N`` sharding, and a
+  ``--cache-dir``/``--resume`` cell cache; ``--json`` prints the raw
+  aggregated data instead of the rendered table.
 * ``prune`` -- prune a ``.npy`` weight matrix with any pattern family
   and write the boolean mask next to it.
-* ``simulate`` -- simulate one GEMM layer on a chosen architecture.
+* ``simulate`` -- simulate one GEMM layer on a chosen architecture;
+  ``--json`` emits the versioned :meth:`SimResult.to_dict` payload.
 * ``faults`` -- run a seeded Monte-Carlo fault-injection campaign
   (:mod:`repro.faults`) over storage formats x fault models and print
   the per-cell SDC-rate / detection-coverage table.  ``--ecc parity``
   or ``--ecc secded`` protects format metadata and also prints the
-  protection's storage and energy overhead on a reference layer.
+  protection's storage and energy overhead on a reference layer;
+  ``--workers N`` shards the campaign cells.
 * ``perf`` -- run the deterministic benchmark suite
   (:mod:`repro.perf.bench`) and write ``BENCH_<name>.json``;
   ``--compare BENCH_baseline.json`` turns it into a regression gate
   (exit 1 when any bench exceeds the baseline by ``--tolerance``).
 
-``--strict-checks`` (all commands) turns on the runtime invariant layer
-(:mod:`repro.runtime.checks`) in ``strict`` mode: invalid masks or
-storage-format round-trip failures abort instead of propagating silently.
+``--checks {off,warn,strict}`` (all commands) selects the runtime
+invariant level (:mod:`repro.runtime.checks`); under ``strict``,
+invalid masks or storage-format round-trip failures abort instead of
+propagating silently.  ``--strict-checks`` survives as a hidden alias
+for ``--checks strict``.
 """
 
 from __future__ import annotations
@@ -57,6 +67,26 @@ _EXPERIMENTS = (
 )
 
 
+def _add_checks_flags(cmd: argparse.ArgumentParser, help_text: str, default=None) -> None:
+    """The canonical ``--checks {off,warn,strict}`` flag plus the hidden
+    legacy ``--strict-checks`` alias (same dest, pinned to ``strict``)."""
+    cmd.add_argument(
+        "--checks", default=default, choices=["off", "warn", "strict"], help=help_text
+    )
+    cmd.add_argument(
+        "--strict-checks", action="store_const", const="strict", dest="checks",
+        help=argparse.SUPPRESS,
+    )
+
+
+def _add_workers_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for sweep sharding "
+        "(default: $REPRO_SWEEP_WORKERS or 1; results are identical at any N)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="TB-STC (HPCA 2025) reproduction toolkit"
@@ -68,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seeds", type=int, default=1, help="number of seeds for accuracy runs")
     report.add_argument("--epochs", type=int, default=8, help="training epochs for accuracy runs")
     report.add_argument("--scale", type=int, default=4, help="layer down-scaling for simulator runs")
+    _add_workers_flag(report)
     report.add_argument(
         "--checkpoint-dir", default=None,
         help="cache completed experiment cells here (enables crash recovery)",
@@ -80,10 +111,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="extra attempts per experiment cell before it is declared failed",
     )
-    report.add_argument(
-        "--strict-checks", action="store_true",
-        help="run with strict mask/format invariant checking",
+    _add_checks_flags(report, "runtime invariant level for mask/format checking")
+
+    sweep = sub.add_parser(
+        "sweep", help="run one experiment through the parallel sweep engine"
     )
+    sweep.add_argument("experiment", choices=_EXPERIMENTS)
+    sweep.add_argument("--seeds", type=int, default=1, help="number of seeds for accuracy runs")
+    sweep.add_argument("--epochs", type=int, default=8, help="training epochs for accuracy runs")
+    sweep.add_argument("--scale", type=int, default=4, help="layer down-scaling for simulator runs")
+    _add_workers_flag(sweep)
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed cell cache directory (enables --resume)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="serve cells already cached in --cache-dir instead of recomputing",
+    )
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="print the raw aggregated data as JSON instead of the rendered table",
+    )
+    _add_checks_flags(sweep, "runtime invariant level for mask/format checking")
 
     prune = sub.add_parser("prune", help="prune a .npy weight matrix")
     prune.add_argument("weights", help="path to a 2-D .npy array")
@@ -91,10 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     prune.add_argument("--sparsity", type=float, default=0.5)
     prune.add_argument("--m", type=int, default=8)
     prune.add_argument("--out", default=None, help="output mask path (default: <weights>.mask.npy)")
-    prune.add_argument(
-        "--strict-checks", action="store_true",
-        help="validate the generated mask against its pattern family",
-    )
+    _add_checks_flags(prune, "validate the generated mask against its pattern family")
 
     sim = sub.add_parser("simulate", help="simulate one sparse GEMM")
     sim.add_argument("--rows", type=int, required=True)
@@ -104,9 +151,22 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--arch", default="TB-STC")
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument(
-        "--strict-checks", action="store_true",
-        help="validate the workload mask and storage-format round-trip",
+        "--weight-bits", type=int, default=16,
+        help="weight precision in bits (8 halves weight traffic; default: 16)",
     )
+    sim.add_argument(
+        "--fault", default=None, choices=["values", "indices", "metadata"],
+        help="inject one storage-side bitflip into this payload before decode",
+    )
+    sim.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the injected fault's position (default: 0)",
+    )
+    sim.add_argument(
+        "--json", action="store_true",
+        help="emit the versioned SimResult.to_dict() payload as JSON",
+    )
+    _add_checks_flags(sim, "validate the workload mask and storage-format round-trip")
 
     faults = sub.add_parser("faults", help="run a seeded fault-injection campaign")
     faults.add_argument("--seed", type=int, default=0, help="campaign master seed")
@@ -127,10 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--cols", type=int, default=32)
     faults.add_argument("--m", type=int, default=8, help="block size M")
     faults.add_argument("--sparsity", type=float, default=0.75)
-    faults.add_argument(
-        "--checks", default="warn", choices=["off", "warn", "strict"],
-        help="runtime invariant level the classification runs under (default: warn)",
+    _add_checks_flags(
+        faults,
+        "runtime invariant level the classification runs under (default: warn)",
+        default="warn",
     )
+    _add_workers_flag(faults)
     faults.add_argument(
         "--checkpoint-dir", default=None,
         help="cache completed campaign cells here (enables crash recovery)",
@@ -141,7 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument(
         "--retries", type=int, default=1,
-        help="extra attempts per campaign cell before it is declared failed",
+        help="ignored (cell isolation is handled by the sweep engine); "
+        "kept so existing invocations keep parsing",
+    )
+    faults.add_argument(
+        "--json", action="store_true",
+        help="emit the campaign spec and per-cell counts as JSON",
     )
 
     perf = sub.add_parser("perf", help="run the benchmark suite / regression gate")
@@ -156,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--name", default="baseline", help="suffix for BENCH_<name>.json")
     perf.add_argument("--out-dir", default=".", help="directory for the BENCH json")
     perf.add_argument("--seed", type=int, default=0)
+    _add_workers_flag(perf)
     perf.add_argument(
         "--compare", default=None, metavar="BASELINE_JSON",
         help="compare against this baseline and fail on regression",
@@ -260,12 +328,20 @@ def _run_report(args) -> int:
     runner = ExperimentRunner(
         cache_dir=args.checkpoint_dir, retries=args.retries, resume=args.resume
     )
+
+    # ``workers`` rides in through a wrapper, NOT through ``runner.run``
+    # kwargs: the runner's cache key hashes its kwargs, and worker count
+    # must never change what a cached experiment is (results are
+    # bit-identical at any N).
+    def run_with_workers(**kwargs):
+        return run_experiment(workers=args.workers, **kwargs)
+
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     seeds = tuple(range(args.seeds))
     failures = []
     for name in names:
         cell = runner.run(
-            name, run_experiment, name=name, seeds=seeds, epochs=args.epochs, scale=args.scale
+            name, run_with_workers, name=name, seeds=seeds, epochs=args.epochs, scale=args.scale
         )
         suffix = " (cached)" if cell.status == "cached" else ""
         print(f"\n--- {name}{suffix} ---")
@@ -280,6 +356,44 @@ def _run_report(args) -> int:
     if len(names) > 1:
         print(f"\n[repro] {runner.summary()}")
     return 1 if failures else 0
+
+
+def _run_sweep_cmd(args) -> int:
+    import json
+
+    from .analysis.experiments import run_experiment
+    from .sweep import SweepError, configured_workers
+
+    if args.seeds < 1:
+        return _fail(f"--seeds must be >= 1, got {args.seeds}")
+    try:
+        workers = configured_workers(args.workers)
+    except SweepError as exc:
+        return _fail(str(exc))
+    if args.resume and not args.cache_dir:
+        return _fail("--resume requires --cache-dir")
+    name = args.experiment
+    print(f"[repro] sweep {name}: {workers} worker(s)"
+          + (f", cache {args.cache_dir}" + (" (resume)" if args.resume else "")
+             if args.cache_dir else ""),
+          file=sys.stderr)
+    try:
+        value = run_experiment(
+            name,
+            seeds=tuple(range(args.seeds)),
+            epochs=args.epochs,
+            scale=args.scale,
+            workers=workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+        )
+    except SweepError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(value, sort_keys=True, default=repr))
+    else:
+        _render_report(name, value)
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -321,8 +435,11 @@ def _run_prune(args) -> int:
 
 
 def _run_simulate(args) -> int:
+    import json
+
     from .core.patterns import PatternFamily
     from .sim.baselines import ARCH_FAMILY, arch_by_name, simulate_arch
+    from .sim.options import SimOptions
     from .workloads.generator import build_workload
     from .workloads.layers import LayerSpec
 
@@ -333,12 +450,18 @@ def _run_simulate(args) -> int:
         return _fail("--rows, --cols and --b-cols must all be >= 1")
     try:
         config = arch_by_name(args.arch)
+        options = SimOptions(
+            weight_bits=args.weight_bits, fault=args.fault, fault_seed=args.fault_seed
+        )
     except ValueError as exc:
         return _fail(str(exc))
     family = ARCH_FAMILY.get(args.arch, PatternFamily.TBS)
     layer = LayerSpec("cli", args.rows, args.cols, args.b_cols)
     workload = build_workload(layer, family, args.sparsity, seed=args.seed)
-    result = simulate_arch(config, workload)
+    result = simulate_arch(config, workload, options=options)
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+        return 0
     print(f"{args.arch} on {args.rows}x{args.cols} @ K={args.b_cols}, "
           f"{family.name} {workload.sparsity:.1%} sparse:")
     print(f"  cycles        {result.cycles}")
@@ -350,16 +473,17 @@ def _run_simulate(args) -> int:
 
 
 def _run_faults(args) -> int:
+    import json
+    from dataclasses import asdict
+
     from .faults import CampaignSpec, ECCConfig, render_campaign, run_campaign
-    from .runtime.runner import ExperimentRunner
+    from .sweep import SweepError, configured_workers
 
     bad = _check_sparsity(args.sparsity)
     if bad:
         return _fail(bad)
     if args.trials < 1:
         return _fail(f"--trials must be >= 1, got {args.trials}")
-    if args.retries < 0:
-        return _fail(f"--retries must be >= 0, got {args.retries}")
     ecc = ECCConfig(mode=args.ecc)
     try:
         spec_kwargs = dict(
@@ -371,20 +495,42 @@ def _run_faults(args) -> int:
         if args.models:
             spec_kwargs["models"] = tuple(args.models)
         spec = CampaignSpec(**spec_kwargs)
-    except ValueError as exc:
+        workers = configured_workers(args.workers)
+    except (ValueError, SweepError) as exc:
         return _fail(str(exc))
 
-    runner = None
-    if args.checkpoint_dir:
-        runner = ExperimentRunner(
-            cache_dir=args.checkpoint_dir, retries=args.retries, resume=args.resume
+    try:
+        result = run_campaign(
+            spec, workers=workers, cache_dir=args.checkpoint_dir, resume=args.resume
         )
-    result = run_campaign(spec, runner=runner)
+    except SweepError as exc:
+        return _fail(str(exc))
+
+    if args.json:
+        print(json.dumps(
+            {
+                "spec": asdict(spec),
+                "cells": [
+                    {
+                        "format": c.format_name,
+                        "model": c.model,
+                        "counts": c.counts,
+                        "skipped": c.skipped,
+                        "sdc_rate": c.sdc_rate,
+                        "coverage": c.coverage,
+                    }
+                    for c in result.cells
+                ],
+            },
+            sort_keys=True,
+        ))
+        return 0
+
     print(f"fault campaign: seed={spec.seed}, {spec.trials} trials/cell, "
           f"{spec.rows}x{spec.cols} TBS @ {spec.sparsity:.0%}, checks={spec.check_level}")
     print(render_campaign(result))
-    if runner is not None:
-        print(f"[repro] {runner.summary()}")
+    if args.checkpoint_dir or workers > 1:
+        print(f"[repro] {result.sweep_summary}")
 
     if ecc.enabled:
         _print_ecc_overheads(spec, ecc)
@@ -396,13 +542,13 @@ def _print_ecc_overheads(spec, ecc) -> None:
     reference TB-STC layer of the campaign's shape."""
     from .core.patterns import PatternFamily
     from .hw.config import tb_stc
-    from .sim.engine import simulate
+    from .sim.engine import SimOptions, simulate
     from .workloads.generator import build_workload
     from .workloads.layers import LayerSpec
 
     layer = LayerSpec("ecc-ref", spec.rows, spec.cols, spec.cols)
     workload = build_workload(layer, PatternFamily.TBS, spec.sparsity, seed=spec.seed, m=spec.m)
-    result = simulate(tb_stc().with_ecc(ecc.mode), workload)
+    result = simulate(tb_stc(), workload, options=SimOptions(ecc=ecc))
     meta = result.breakdown["meta_bytes"]
     extra = result.breakdown["ecc_bytes"]
     ecc_pj = result.energy.components.get("ecc", 0.0)
@@ -424,7 +570,8 @@ def _run_perf(args) -> int:
         return _fail(f"--best-of must be >= 1, got {args.best_of}")
     profile = "quick" if args.quick else args.profile
     data = bench.run_suite_best(
-        profile=profile, seed=args.seed, name=args.name, rounds=args.best_of
+        profile=profile, seed=args.seed, name=args.name, rounds=args.best_of,
+        workers=args.workers,
     )
     out_path = os.path.join(args.out_dir, f"BENCH_{args.name}.json")
     try:
@@ -464,7 +611,9 @@ def _run_perf(args) -> int:
             print("possible regression -- re-running suite once to filter noise")
             data = bench.merge_best(
                 data,
-                bench.run_suite(profile=profile, seed=args.seed, name=args.name),
+                bench.run_suite(
+                    profile=profile, seed=args.seed, name=args.name, workers=args.workers
+                ),
             )
             try:
                 bench.write_bench_json(out_path, data)
@@ -485,6 +634,8 @@ def _run_perf(args) -> int:
 def _dispatch(args) -> int:
     if args.command == "report":
         return _run_report(args)
+    if args.command == "sweep":
+        return _run_sweep_cmd(args)
     if args.command == "prune":
         return _run_prune(args)
     if args.command == "simulate":
@@ -498,10 +649,14 @@ def _dispatch(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "strict_checks", False):
+    # ``faults`` interprets --checks itself (the level the *campaign
+    # classification* runs under, threaded through CampaignSpec); every
+    # other command applies it as the ambient runtime invariant level.
+    level = getattr(args, "checks", None)
+    if level and args.command != "faults":
         from .runtime.checks import check_level
 
-        with check_level("strict"):
+        with check_level(level):
             return _dispatch(args)
     return _dispatch(args)
 

@@ -157,6 +157,7 @@ class CampaignResult:
 
     spec: CampaignSpec
     cells: List[CellOutcome] = field(default_factory=list)
+    sweep_summary: Optional[str] = None  #: engine stats when run via repro.sweep
 
     def cell(self, fmt: str, model: str) -> Optional[CellOutcome]:
         for c in self.cells:
@@ -331,24 +332,60 @@ def run_cell(spec: CampaignSpec, fmt_name: str, model: str) -> CellOutcome:
     return outcome
 
 
-def run_campaign(spec: CampaignSpec, runner=None) -> CampaignResult:
-    """Sweep every (format, model) cell, optionally through a runner.
+def run_campaign(
+    spec: CampaignSpec,
+    runner=None,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    resume: bool = False,
+    progress=None,
+) -> CampaignResult:
+    """Sweep every (format, model) cell through the sweep engine.
 
-    ``runner`` is a :class:`repro.runtime.runner.ExperimentRunner`; when
-    given, each cell runs isolated with retries and disk caching, so a
-    crash in one cell cannot kill the campaign and a resumed campaign
-    replays finished cells from disk.
+    Cells shard across ``workers`` processes (:mod:`repro.sweep`); every
+    trial seeds from ``(seed, format, model, trial)``, so the table is
+    bit-identical at any worker count.  With ``cache_dir``, finished
+    cells persist on disk and ``resume=True`` replays them, so a killed
+    campaign restarts where it left off.
+
+    ``runner`` (a :class:`repro.runtime.runner.ExperimentRunner`) is the
+    legacy serial cell-isolation path and is mutually exclusive with the
+    sweep knobs.
     """
-    result = CampaignResult(spec)
-    for fmt_name in spec.formats:
-        for model in spec.models:
-            if runner is not None:
+    if runner is not None:
+        result = CampaignResult(spec)
+        for fmt_name in spec.formats:
+            for model in spec.models:
                 cell_key = f"faults-{fmt_name}-{model}"
                 cell = runner.run(cell_key, run_cell, spec=spec, fmt_name=fmt_name, model=model)
                 if cell.ok:
                     result.cells.append(cell.value)
-                continue
-            result.cells.append(run_cell(spec, fmt_name, model))
+        return result
+
+    from ..sweep import SweepCell, SweepSpec, configured_workers, run_sweep
+
+    cells = [
+        SweepCell(
+            key=f"faults-{fmt_name}-{model}",
+            fn=run_cell,
+            kwargs={"spec": spec, "fmt_name": fmt_name, "model": model},
+        )
+        for fmt_name in spec.formats
+        for model in spec.models
+    ]
+    sweep = run_sweep(
+        SweepSpec("faults", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        progress=progress,
+        strict=True,
+    )
+    result = CampaignResult(spec)
+    result.sweep_summary = sweep.summary()
+    for fmt_name in spec.formats:
+        for model in spec.models:
+            result.cells.append(sweep.value(f"faults-{fmt_name}-{model}"))
     return result
 
 

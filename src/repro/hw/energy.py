@@ -94,6 +94,22 @@ class EnergyReport:
         """Energy-Delay Product in J*s."""
         return self.total_j * self.time_s
 
+    def to_dict(self) -> Dict:
+        """Plain JSON-ready payload (used by ``SimResult.to_dict``)."""
+        return {
+            "components": dict(self.components),
+            "cycles": int(self.cycles),
+            "frequency_ghz": float(self.frequency_ghz),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EnergyReport":
+        return cls(
+            components={str(k): float(v) for k, v in data["components"].items()},
+            cycles=int(data["cycles"]),
+            frequency_ghz=float(data["frequency_ghz"]),
+        )
+
 
 class EnergyModel:
     """Integrates per-event energies for one architecture."""

@@ -36,7 +36,7 @@ import platform
 import resource
 import sys
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -218,50 +218,128 @@ def _macro_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Cal
     ]
 
 
+def _time_bench(
+    fn: Callable[[], None], cells: int, reps: int, calibration_s: float
+) -> Tuple[Dict, float]:
+    """Warm up, autorange, and time one bench callable.
+
+    Returns the per-bench record plus the total wall time spent (the
+    suite's ``total_wall_s`` contribution).  Shared by the serial suite
+    loop and the per-bench worker cell, so both measure identically.
+    """
+    # Warm-up excludes one-time allocation/import effects and
+    # sizes the autorange: sub-millisecond callables are pure
+    # timer noise at +/-25%, so each rep loops the callable until
+    # it accumulates at least _MIN_REP_S of measured work.
+    t0 = time.perf_counter()
+    fn()
+    warm = time.perf_counter() - t0
+    inner = max(1, min(_MAX_INNER, int(math.ceil(_MIN_REP_S / max(warm, 1e-9)))))
+    rep_times: List[float] = []
+    cap = capture()
+    with cap as stages:
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            rep_times.append((time.perf_counter() - t0) / inner)
+    # min-of-reps: scheduling noise only ever adds time, so the
+    # fastest rep is the best estimate of the true cost.
+    wall = min(rep_times)
+    record = {
+        "wall_s": wall,
+        "normalized": wall / calibration_s,
+        "cells": int(cells),
+        "cells_per_s": cells / wall if wall > 0 else float("inf"),
+        "stages": stages,
+    }
+    return record, sum(t * inner for t in rep_times)
+
+
+def _bench_cell(profile: str, seed: int, bench_name: str) -> Dict:
+    """Run one named bench in this process (the sweep-engine cell body).
+
+    Calibration runs here too: normalization must use a workload timed in
+    the *same* process as the bench, or a loaded sibling worker would
+    skew the ratio.  The calibration and spent-wall figures ride along in
+    the record for the parent to fold into the suite payload.
+    """
+    sizes = PROFILES[profile]
+    calibration_s = calibrate()
+    suite = _micro_benches(sizes, seed) + _macro_benches(sizes, seed)
+    for name_, cells, fn in suite:
+        if name_ == bench_name:
+            break
+    else:
+        raise ValueError(f"unknown bench {bench_name!r}")
+    with enabled_scope():
+        record, spent = _time_bench(fn, cells, sizes["reps"], calibration_s)
+    record["calibration_s"] = calibration_s
+    record["spent_wall_s"] = spent
+    record["peak_rss_kb"] = peak_rss_kb()
+    return record
+
+
 def run_suite(
     profile: str = "quick",
     seed: int = 0,
     name: str = "baseline",
+    workers: Optional[int] = None,
 ) -> Dict:
-    """Run the full bench suite and return the BENCH json payload."""
+    """Run the full bench suite and return the BENCH json payload.
+
+    ``workers > 1`` shards the benches across a process pool via the
+    sweep engine: each worker calibrates itself and times its benches
+    in-process, so normalized figures stay meaningful; ``workers=1``
+    (the default) is the historical in-process loop, byte-identical in
+    schema and measurement procedure.
+    """
+    from ..sweep import SweepCell, SweepSpec, configured_workers, run_sweep
+
     if profile not in PROFILES:
         raise ValueError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
     sizes = PROFILES[profile]
     reps = sizes["reps"]
-    calibration_s = calibrate()
+    n_workers = configured_workers(workers)
 
     benches: Dict[str, Dict] = {}
     total = 0.0
-    suite = _micro_benches(sizes, seed) + _macro_benches(sizes, seed)
-    with enabled_scope():
-        for bench_name, cells, fn in suite:
-            # Warm-up excludes one-time allocation/import effects and
-            # sizes the autorange: sub-millisecond callables are pure
-            # timer noise at +/-25%, so each rep loops the callable until
-            # it accumulates at least _MIN_REP_S of measured work.
-            t0 = time.perf_counter()
-            fn()
-            warm = time.perf_counter() - t0
-            inner = max(1, min(_MAX_INNER, int(math.ceil(_MIN_REP_S / max(warm, 1e-9)))))
-            rep_times: List[float] = []
-            cap = capture()
-            with cap as stages:
-                for _ in range(reps):
-                    t0 = time.perf_counter()
-                    for _ in range(inner):
-                        fn()
-                    rep_times.append((time.perf_counter() - t0) / inner)
-            # min-of-reps: scheduling noise only ever adds time, so the
-            # fastest rep is the best estimate of the true cost.
-            wall = min(rep_times)
-            total += sum(t * inner for t in rep_times)
-            benches[bench_name] = {
-                "wall_s": wall,
-                "normalized": wall / calibration_s,
-                "cells": int(cells),
-                "cells_per_s": cells / wall if wall > 0 else float("inf"),
-                "stages": stages,
-            }
+    if n_workers > 1:
+        bench_names = [b[0] for b in _micro_benches(sizes, seed) + _macro_benches(sizes, seed)]
+        sweep = run_sweep(
+            SweepSpec(
+                f"perf-{profile}",
+                tuple(
+                    SweepCell(
+                        key=bench_name,
+                        fn=_bench_cell,
+                        kwargs={"profile": profile, "seed": seed, "bench_name": bench_name},
+                    )
+                    for bench_name in bench_names
+                ),
+            ),
+            workers=n_workers,
+            strict=True,
+        )
+        calibrations: List[float] = []
+        rss = peak_rss_kb()
+        for bench_name in bench_names:
+            record = dict(sweep.value(bench_name))
+            calibrations.append(record.pop("calibration_s"))
+            total += record.pop("spent_wall_s")
+            rss = max(rss, record.pop("peak_rss_kb"))
+            benches[bench_name] = record
+        calibration_s = min(calibrations)
+        peak_rss = rss
+    else:
+        calibration_s = calibrate()
+        suite = _micro_benches(sizes, seed) + _macro_benches(sizes, seed)
+        with enabled_scope():
+            for bench_name, cells, fn in suite:
+                record, spent = _time_bench(fn, cells, reps, calibration_s)
+                total += spent
+                benches[bench_name] = record
+        peak_rss = peak_rss_kb()
 
     return {
         "schema": SCHEMA_VERSION,
@@ -274,7 +352,7 @@ def run_suite(
         "calibration_s": calibration_s,
         "benches": benches,
         "total_wall_s": total,
-        "peak_rss_kb": peak_rss_kb(),
+        "peak_rss_kb": peak_rss,
     }
 
 
@@ -303,11 +381,12 @@ def run_suite_best(
     seed: int = 0,
     name: str = "baseline",
     rounds: int = 1,
+    workers: Optional[int] = None,
 ) -> Dict:
     """Run the suite ``rounds`` times and keep the per-bench best."""
-    data = run_suite(profile, seed, name)
+    data = run_suite(profile, seed, name, workers=workers)
     for _ in range(max(0, rounds - 1)):
-        data = merge_best(data, run_suite(profile, seed, name))
+        data = merge_best(data, run_suite(profile, seed, name, workers=workers))
     return data
 
 

@@ -1,0 +1,78 @@
+"""Content-addressed on-disk cache for experiment/sweep cell results.
+
+This is the persistence layer shared by the fault-tolerant
+:class:`~repro.runtime.runner.ExperimentRunner` (coarse cells: one per
+paper table/figure) and the parallel sweep engine
+(:mod:`repro.sweep.engine`; fine cells: one per grid point).  One cell
+-> one pickle file, published with the same atomic write-rename
+discipline as the training :class:`~repro.runtime.checkpoint
+.CheckpointStore`: a crash mid-write never corrupts an existing entry,
+and a corrupt entry reads as a miss, never as an exception.
+
+**Cache key definition** (see DESIGN.md "Sweep cell cache"): the key is
+``{name}-{sha256(name :: canonical-JSON(payload))[:16]}`` where
+``payload`` is the cell's logical identity -- the callable's import path
+plus its exact keyword arguments (seeds included), serialized as
+sorted-key JSON with ``repr`` for non-JSON values.  Anything that does
+not change the cell's *result* stays out of the hash: worker count,
+retry budget, submission order, wall-clock, host.  Re-running the same
+sweep therefore hits the cache regardless of parallelism, and changing
+any input (a seed, a shape, the function itself) misses it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["CellCache", "cache_key"]
+
+
+def cache_key(name: str, payload: Dict[str, Any]) -> str:
+    """Content-addressed key for one cell (see module docstring)."""
+    try:
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+    except TypeError:  # pragma: no cover - default=repr handles everything
+        blob = repr(sorted(payload.items()))
+    digest = hashlib.sha256(f"{name}::{blob}".encode()).hexdigest()[:16]
+    return f"{name}-{digest}"
+
+
+class CellCache:
+    """Directory of atomically-written, content-addressed result pickles."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, name: str, payload: Dict[str, Any]) -> Path:
+        return self.directory / f"{cache_key(name, payload)}.pkl"
+
+    def read(self, path: Optional[Path]) -> Any:
+        """Cached value at ``path``, or None on miss/corruption."""
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except Exception:  # corrupt cache entry: recompute, don't crash
+            return None
+
+    def write(self, path: Optional[Path], value: Any) -> None:
+        """Atomically publish ``value`` at ``path`` (write + rename)."""
+        if path is None:
+            return
+        fd, tmp = tempfile.mkstemp(prefix=".tmp-cell-", dir=self.directory)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

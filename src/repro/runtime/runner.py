@@ -20,15 +20,12 @@ mapping from paper table/figure names to driver callables lives in
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import pickle
-import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
+
+from .cellcache import CellCache, cache_key
 
 __all__ = ["CellResult", "ExperimentRunner"]
 
@@ -49,13 +46,9 @@ class CellResult:
         return self.status in ("ok", "cached")
 
 
-def _cache_key(name: str, kwargs: Dict[str, Any]) -> str:
-    try:
-        blob = json.dumps(kwargs, sort_keys=True, default=repr)
-    except TypeError:  # pragma: no cover - default=repr handles everything
-        blob = repr(sorted(kwargs.items()))
-    digest = hashlib.sha256(f"{name}::{blob}".encode()).hexdigest()[:16]
-    return f"{name}-{digest}"
+#: Kept as a module-level alias: the key definition now lives in
+#: :func:`repro.runtime.cellcache.cache_key`, shared with the sweep engine.
+_cache_key = cache_key
 
 
 class ExperimentRunner:
@@ -69,41 +62,28 @@ class ExperimentRunner:
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
-        self.cache_dir = Path(cache_dir) if cache_dir else None
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._cache = CellCache(cache_dir) if cache_dir else None
         self.retries = retries
         self.resume = resume
         self.results: List[CellResult] = []
 
     # -- cache --------------------------------------------------------------
 
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self._cache.directory if self._cache is not None else None
+
     def _cache_path(self, name: str, kwargs: Dict[str, Any]) -> Optional[Path]:
-        if self.cache_dir is None:
+        if self._cache is None:
             return None
-        return self.cache_dir / f"{_cache_key(name, kwargs)}.pkl"
+        return self._cache.path(name, kwargs)
 
     def _read_cache(self, path: Optional[Path]) -> Any:
-        if path is None or not path.exists():
-            return None
-        try:
-            with open(path, "rb") as fh:
-                return pickle.load(fh)
-        except Exception:  # corrupt cache entry: recompute, don't crash
-            return None
+        return self._cache.read(path) if self._cache is not None else None
 
     def _write_cache(self, path: Optional[Path], value: Any) -> None:
-        if path is None:
-            return
-        fd, tmp = tempfile.mkstemp(prefix=".tmp-cell-", dir=self.cache_dir)
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        if self._cache is not None:
+            self._cache.write(path, value)
 
     # -- execution ----------------------------------------------------------
 

@@ -9,6 +9,7 @@ experiments do.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from ..core.patterns import PatternFamily
@@ -18,9 +19,11 @@ from ..workloads.generator import GEMMWorkload, build_workload
 from ..workloads.layers import LayerSpec
 from .engine import simulate
 from .metrics import SimResult
+from .options import SimOptions
 
 __all__ = [
     "ARCH_FAMILY",
+    "ARCH_ROW_OVERHEAD",
     "simulate_arch",
     "simulate_layer_sweep",
     "arch_by_name",
@@ -58,14 +61,31 @@ def arch_by_name(name: str, **overrides) -> ArchConfig:
         raise ValueError(f"unknown architecture {name!r}; have {sorted(_FACTORIES)}") from None
 
 
+#: Per-non-empty-row cycle overhead each baseline's front-end pays (the
+#: CSR-style row-pipelining model; zero for block-native machines).
+ARCH_ROW_OVERHEAD: Dict[str, float] = {"SGCN": 0.15, "RM-STC": 0.05, "DVPE+FAN": 0.2}
+
+
 def simulate_arch(
     config: ArchConfig,
     workload: GEMMWorkload,
+    options: Optional[SimOptions] = None,
     energy_params: Optional[EnergyParams] = None,
 ) -> SimResult:
-    """Simulate with the architecture-specific knobs applied."""
-    row_overhead = {"SGCN": 0.15, "RM-STC": 0.05, "DVPE+FAN": 0.2}.get(config.name, 0.0)
-    return simulate(config, workload, energy_params=energy_params, row_overhead_cycles=row_overhead)
+    """Simulate with the architecture-specific knobs applied.
+
+    ``options`` carries any extra simulation knobs; the baseline's own
+    row-overhead model is layered on top unless the caller already set
+    one explicitly.
+    """
+    opts = options if options is not None else SimOptions()
+    if energy_params is not None:
+        opts = replace(opts, energy_params=energy_params)
+    if opts.row_overhead_cycles == 0.0:
+        overhead = ARCH_ROW_OVERHEAD.get(config.name, 0.0)
+        if overhead:
+            opts = replace(opts, row_overhead_cycles=overhead)
+    return simulate(config, workload, options=opts)
 
 
 def simulate_layer_sweep(

@@ -25,8 +25,10 @@ One :func:`simulate` call executes one sparse GEMM on one
 from __future__ import annotations
 
 import math
+import sys
+import warnings
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -53,8 +55,9 @@ from ..perf.timers import enabled as _perf_enabled
 from ..runtime.checks import check_format_roundtrip, check_workload, get_check_level
 from ..workloads.generator import GEMMWorkload
 from .metrics import SimResult
+from .options import SimOptions
 
-__all__ = ["simulate", "block_segments", "PIPELINE_FILL_CYCLES"]
+__all__ = ["SimOptions", "simulate", "block_segments", "PIPELINE_FILL_CYCLES"]
 
 #: Fixed pipeline fill/drain cost per layer launch.
 PIPELINE_FILL_CYCLES = 64
@@ -313,35 +316,89 @@ def _memory_cycles_and_bytes(
     return cycles, total_bytes, detail
 
 
+#: (filename, lineno) call-sites that already received the legacy-kwargs
+#: DeprecationWarning -- each site warns exactly once per process.
+_LEGACY_WARNED_SITES: Set[Tuple[str, int]] = set()
+
+#: The nine-kwarg signature's option names, in their historical order
+#: (positional legacy calls are mapped through this).
+_LEGACY_OPTION_FIELDS = (
+    "energy_params",
+    "row_overhead_cycles",
+    "weight_bits",
+    "ecc",
+    "fault",
+    "fault_seed",
+    "cycle_budget",
+)
+
+
+def _coerce_options(options, legacy_args: tuple, legacy_kwargs: dict) -> SimOptions:
+    """Build :class:`SimOptions` from the new or the deprecated calling form.
+
+    The deprecated form (loose ``energy_params=...`` etc. kwargs, or
+    extra positionals) still works but emits one
+    :class:`DeprecationWarning` per call-site -- enough to migrate by,
+    quiet enough not to drown a million-cell sweep.
+    """
+    legacy = dict(zip(_LEGACY_OPTION_FIELDS, legacy_args))
+    for key, value in legacy_kwargs.items():
+        if key not in _LEGACY_OPTION_FIELDS:
+            raise TypeError(f"simulate() got an unexpected keyword argument {key!r}")
+        if key in legacy:
+            raise TypeError(f"simulate() got multiple values for argument {key!r}")
+        legacy[key] = value
+    if not legacy:
+        return options if options is not None else SimOptions()
+    if options is not None:
+        raise TypeError(
+            "simulate() takes either options=SimOptions(...) or the deprecated "
+            f"loose kwargs, not both (got {sorted(legacy)})"
+        )
+    frame = sys._getframe(2)
+    site = (frame.f_code.co_filename, frame.f_lineno)
+    if site not in _LEGACY_WARNED_SITES:
+        _LEGACY_WARNED_SITES.add(site)
+        warnings.warn(
+            f"simulate({', '.join(sorted(legacy))}=...) is deprecated; pass "
+            "simulate(config, workload, options=SimOptions(...)) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return SimOptions(**legacy)
+
+
 def simulate(
     config: ArchConfig,
     workload: GEMMWorkload,
-    energy_params: Optional[EnergyParams] = None,
-    row_overhead_cycles: float = 0.0,
-    weight_bits: int = 16,
-    ecc=None,
-    fault: Optional[str] = None,
-    fault_seed: int = 0,
-    cycle_budget: Optional[int] = None,
+    options: Optional[SimOptions] = None,
+    *legacy_args,
+    **legacy_kwargs,
 ) -> SimResult:
     """Execute one sparse GEMM on one architecture.
 
-    ``row_overhead_cycles`` models per-non-empty-row processing overhead
-    of CSR-style machines (used by the SGCN baseline);
-    ``weight_bits`` < 16 models quantized weights (Fig. 15(b)).
+    All knobs beyond (architecture, workload) travel in one frozen
+    :class:`~repro.sim.options.SimOptions` value object:
 
-    Robustness knobs:
-
-    * ``ecc`` (an :class:`repro.faults.ecc.ECCConfig`) protects the
-      storage format's metadata; when None, ``config.metadata_ecc``
+    * ``options.row_overhead_cycles`` models per-non-empty-row processing
+      overhead of CSR-style machines (used by the SGCN baseline);
+    * ``options.weight_bits`` < 16 models quantized weights (Fig. 15(b));
+    * ``options.ecc`` (an :class:`repro.faults.ecc.ECCConfig`) protects
+      the storage format's metadata; when None, ``config.metadata_ecc``
       decides.  Protection charges check-bit traffic and ECC energy.
-    * ``fault`` injects one seeded bit flip into the encoded A operand
-      (``'values'`` | ``'indices'`` | ``'metadata'``) and classifies the
-      outcome under the ambient :mod:`repro.runtime.checks` level; the
-      class lands in ``SimResult.fault_classification``.  Timing is
-      reported for the fault-free execution.
-    * ``cycle_budget`` raises :class:`~repro.hw.scheduler.SimStallError`
-      if the modeled execution exceeds it -- a runaway guard for sweeps.
+    * ``options.fault`` injects one seeded bit flip into the encoded A
+      operand (``'values'`` | ``'indices'`` | ``'metadata'``) and
+      classifies the outcome under the ambient :mod:`repro.runtime
+      .checks` level; the class lands in
+      ``SimResult.fault_classification``.  Timing is reported for the
+      fault-free execution.  ``options.fault_seed`` seeds the flip.
+    * ``options.cycle_budget`` raises
+      :class:`~repro.hw.scheduler.SimStallError` if the modeled
+      execution exceeds it -- a runaway guard for sweeps.
+
+    The pre-1.1 loose-kwargs form (``simulate(cfg, wl, weight_bits=8)``)
+    still works through a shim that emits one ``DeprecationWarning`` per
+    call-site.
 
     When invariant checking is on (:mod:`repro.runtime.checks`), the
     workload mask is validated against its declared pattern family, and
@@ -353,32 +410,18 @@ def simulate(
     ``SimResult.perf_breakdown``; with timing off the instrumentation
     reduces to one boolean check.
     """
+    if isinstance(options, SimOptions) or options is None:
+        opts = _coerce_options(options, legacy_args, legacy_kwargs)
+    else:
+        # Positional legacy call: the third positional used to be
+        # energy_params; shift it into the legacy tuple.
+        opts = _coerce_options(None, (options,) + legacy_args, legacy_kwargs)
     if not _perf_enabled():
-        return _simulate(
-            config,
-            workload,
-            energy_params,
-            row_overhead_cycles,
-            weight_bits,
-            ecc,
-            fault,
-            fault_seed,
-            cycle_budget,
-        )
+        return _simulate(config, workload, opts)
     cap = capture()
     with cap as stages:
         with stage("sim.engine.simulate"):
-            result = _simulate(
-                config,
-                workload,
-                energy_params,
-                row_overhead_cycles,
-                weight_bits,
-                ecc,
-                fault,
-                fault_seed,
-                cycle_budget,
-            )
+            result = _simulate(config, workload, opts)
     result.perf_breakdown = stages
     return result
 
@@ -386,15 +429,16 @@ def simulate(
 def _simulate(
     config: ArchConfig,
     workload: GEMMWorkload,
-    energy_params: Optional[EnergyParams] = None,
-    row_overhead_cycles: float = 0.0,
-    weight_bits: int = 16,
-    ecc=None,
-    fault: Optional[str] = None,
-    fault_seed: int = 0,
-    cycle_budget: Optional[int] = None,
+    options: SimOptions,
 ) -> SimResult:
     """Pipeline body of :func:`simulate` (timing-agnostic)."""
+    energy_params = options.energy_params
+    row_overhead_cycles = options.row_overhead_cycles
+    weight_bits = options.weight_bits
+    ecc = options.ecc
+    fault = options.fault
+    fault_seed = options.fault_seed
+    cycle_budget = options.cycle_budget
     level = get_check_level()
     if level != "off":
         check_workload(workload, context=f"simulate:{workload.name}")

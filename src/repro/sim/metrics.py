@@ -7,7 +7,13 @@ from typing import Dict, List, Optional
 
 from ..hw.energy import EnergyReport
 
-__all__ = ["SimResult", "speedup", "normalized_edp", "aggregate"]
+__all__ = ["SIM_RESULT_SCHEMA", "SimResult", "speedup", "normalized_edp", "aggregate"]
+
+#: Version stamped into ``SimResult.to_dict`` payloads.  Bump whenever a
+#: field is added/renamed/retyped so cached or cross-process payloads
+#: from older code fail loudly in ``from_dict`` instead of silently
+#: deserializing into the wrong shape.
+SIM_RESULT_SCHEMA = 1
 
 
 @dataclass
@@ -49,6 +55,60 @@ class SimResult:
     def edp(self) -> float:
         """Energy-Delay Product (J*s) -- the paper's headline metric."""
         return self.energy_j * self.time_s
+
+    def to_dict(self) -> Dict:
+        """Versioned JSON-ready payload (inverse of :meth:`from_dict`).
+
+        This is the one sanctioned way a ``SimResult`` crosses a process
+        boundary or lands in CLI JSON output: sweep workers return
+        ``result.to_dict()`` and the aggregator rebuilds with
+        ``SimResult.from_dict`` -- no ad-hoc dict plumbing, and a schema
+        bump turns silent drift into a loud error.
+        """
+        return {
+            "schema_version": SIM_RESULT_SCHEMA,
+            "arch": self.arch,
+            "workload": self.workload,
+            "cycles": int(self.cycles),
+            "compute_cycles": int(self.compute_cycles),
+            "memory_cycles": int(self.memory_cycles),
+            "codec_visible_cycles": int(self.codec_visible_cycles),
+            "macs": int(self.macs),
+            "dram_bytes": float(self.dram_bytes),
+            "energy": self.energy.to_dict(),
+            "compute_utilization": float(self.compute_utilization),
+            "bandwidth_utilization": float(self.bandwidth_utilization),
+            "frequency_ghz": float(self.frequency_ghz),
+            "breakdown": dict(self.breakdown),
+            "fault_classification": self.fault_classification,
+            "perf_breakdown": self.perf_breakdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output (schema-checked)."""
+        version = data.get("schema_version")
+        if version != SIM_RESULT_SCHEMA:
+            raise ValueError(
+                f"SimResult payload schema {version!r} != supported {SIM_RESULT_SCHEMA}"
+            )
+        return cls(
+            arch=data["arch"],
+            workload=data["workload"],
+            cycles=int(data["cycles"]),
+            compute_cycles=int(data["compute_cycles"]),
+            memory_cycles=int(data["memory_cycles"]),
+            codec_visible_cycles=int(data["codec_visible_cycles"]),
+            macs=int(data["macs"]),
+            dram_bytes=float(data["dram_bytes"]),
+            energy=EnergyReport.from_dict(data["energy"]),
+            compute_utilization=float(data["compute_utilization"]),
+            bandwidth_utilization=float(data["bandwidth_utilization"]),
+            frequency_ghz=float(data["frequency_ghz"]),
+            breakdown={str(k): float(v) for k, v in data["breakdown"].items()},
+            fault_classification=data.get("fault_classification"),
+            perf_breakdown=data.get("perf_breakdown"),
+        )
 
     def scaled(self, repeats: int) -> "SimResult":
         """The same layer executed ``repeats`` times back-to-back."""

@@ -1,0 +1,273 @@
+"""Process-parallel sweep execution with caching and fault isolation.
+
+:func:`run_sweep` executes every cell of a :class:`~repro.sweep.spec
+.SweepSpec` and returns a :class:`SweepResult` whose cells are always in
+**spec order**, whatever order the pool finished them in -- aggregation
+code downstream can therefore fold results exactly the way the old
+serial loops did, which is what makes ``--workers N`` bit-identical to
+``--workers 1``.
+
+Execution model:
+
+* ``workers <= 1`` runs every cell inline in this process (no pool, no
+  pickling) -- the reference path;
+* ``workers > 1`` ships ``(fn-ref, kwargs)`` payloads to a
+  ``multiprocessing`` pool; each worker re-imports the callable, runs
+  the cell under the submitting process's check level, and returns
+  either the value or a structured error;
+* a cell that raises becomes a failed :class:`SweepCellResult` carrying
+  ``error`` and ``traceback`` strings -- it is logged through the
+  ``repro.sweep`` logger and never unwinds the sweep;
+* with a cache directory, finished cells are pickled content-addressed
+  (:mod:`repro.runtime.cellcache`); ``resume=True`` serves hits from
+  disk, so restarting a killed sweep only recomputes missing cells.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..runtime.cellcache import CellCache
+from ..runtime.checks import check_level, get_check_level
+from .spec import SweepSpec, resolve_fn
+
+__all__ = [
+    "SweepCellResult",
+    "SweepError",
+    "SweepResult",
+    "configured_workers",
+    "default_workers",
+    "run_sweep",
+]
+
+logger = logging.getLogger("repro.sweep")
+
+
+class SweepError(RuntimeError):
+    """Engine-level failure (misuse or, under ``strict=True``, failed cells)."""
+
+
+def default_workers() -> int:
+    """Worker count to use when the caller does not say.
+
+    Honours ``REPRO_SWEEP_WORKERS`` (how the benchmark harness and CI
+    select parallelism without threading a flag through every driver),
+    else falls back to the machine's CPU count.
+    """
+    env = _env_workers()
+    if env is not None:
+        return env
+    return max(1, os.cpu_count() or 1)
+
+
+def _env_workers() -> Optional[int]:
+    env = os.environ.get("REPRO_SWEEP_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            logger.warning("ignoring malformed REPRO_SWEEP_WORKERS=%r", env)
+    return None
+
+
+def configured_workers(explicit: Optional[int] = None) -> int:
+    """Resolve a driver's ``workers`` parameter to a concrete count.
+
+    Precedence: an explicit argument, then ``REPRO_SWEEP_WORKERS``, then
+    1 (serial) -- drivers stay bit-exactly serial unless somebody opted
+    into parallelism.
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise SweepError(f"workers must be >= 1, got {explicit}")
+        return int(explicit)
+    return _env_workers() or 1
+
+
+@dataclass
+class SweepCellResult:
+    """Outcome of one sweep cell (ok, cached, or failed)."""
+
+    key: str
+    status: str  # "ok" | "cached" | "failed"
+    value: Any = None
+    error: Optional[str] = None  #: "ExcType: message" for failed cells
+    traceback: Optional[str] = None  #: full formatted traceback for failed cells
+    elapsed_s: float = 0.0
+    worker: Optional[int] = None  #: pid of the process that ran the cell
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep, in spec order, plus run metadata."""
+
+    spec_name: str
+    workers: int
+    cells: List[SweepCellResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def failures(self) -> List[SweepCellResult]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def value(self, key: str) -> Any:
+        for cell in self.cells:
+            if cell.key == key:
+                if not cell.ok:
+                    raise SweepError(f"cell {key!r} failed: {cell.error}")
+                return cell.value
+        raise KeyError(f"no cell {key!r} in sweep {self.spec_name!r}")
+
+    def values(self) -> Dict[str, Any]:
+        """``{key: value}`` over the cells that succeeded."""
+        return {cell.key: cell.value for cell in self.cells if cell.ok}
+
+    def summary(self) -> str:
+        ok = sum(1 for c in self.cells if c.status == "ok")
+        cached = sum(1 for c in self.cells if c.status == "cached")
+        failed = len(self.failures)
+        return (
+            f"{len(self.cells)} cells ({ok} computed, {cached} from cache, "
+            f"{failed} failed) in {self.elapsed_s:.2f} s with {self.workers} worker(s)"
+        )
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Tuple[str, str, Any, float, int]:
+    """Run one cell body; never raises (the isolation boundary).
+
+    Returns ``(key, status, value_or_error, elapsed_s, pid)`` where a
+    failed cell's third slot is ``{"error": ..., "traceback": ...}``.
+    Runs in the worker process under ``workers > 1`` and inline under
+    ``workers <= 1`` -- one code path, so both modes compute the same
+    thing.
+    """
+    key = payload["key"]
+    start = time.perf_counter()
+    try:
+        fn = resolve_fn(payload["fn"])
+        if payload.get("seed") is not None:
+            import numpy as np
+
+            np.random.seed(payload["seed"] & 0xFFFFFFFF)
+        with check_level(payload.get("check_level", "off")):
+            value = fn(**payload["kwargs"])
+        pickle.dumps(value)  # fail *inside* the isolation boundary, not in the pool
+    except KeyboardInterrupt:  # pragma: no cover - user abort must propagate
+        raise
+    except BaseException as exc:  # noqa: BLE001 - cell isolation is the point
+        detail = {"error": f"{type(exc).__name__}: {exc}", "traceback": traceback.format_exc()}
+        return key, "failed", detail, time.perf_counter() - start, os.getpid()
+    return key, "ok", value, time.perf_counter() - start, os.getpid()
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[SweepCellResult, int, int], None]] = None,
+    strict: bool = False,
+) -> SweepResult:
+    """Execute every cell of ``spec`` and return results in spec order.
+
+    ``progress`` (if given) is called as each cell settles, with the
+    cell result plus ``(done, total)`` counts -- note this happens in
+    *completion* order, which under parallelism is nondeterministic;
+    only the returned :class:`SweepResult` ordering is stable.
+    ``strict=True`` raises :class:`SweepError` after the sweep completes
+    if any cell failed (the sweep itself still runs to the end).
+    """
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1, got {workers}")
+    cache = CellCache(cache_dir) if cache_dir else None
+    ambient_level = get_check_level()
+    start = time.perf_counter()
+    total = len(spec.cells)
+    by_key: Dict[str, SweepCellResult] = {}
+    done = 0
+
+    def settle(result: SweepCellResult) -> None:
+        nonlocal done
+        done += 1
+        by_key[result.key] = result
+        if result.status == "failed":
+            logger.error(
+                "sweep %s: cell %s failed after %.2f s: %s",
+                spec.name, result.key, result.elapsed_s, result.error,
+            )
+        if progress is not None:
+            progress(result, done, total)
+
+    pending: List[Dict[str, Any]] = []
+    for cell in spec.cells:
+        path = cache.path(cell.key, cell.payload()) if cache is not None else None
+        if resume and cache is not None:
+            hit = cache.read(path)
+            if hit is not None:
+                settle(SweepCellResult(cell.key, "cached", value=hit))
+                continue
+        pending.append(
+            {
+                "key": cell.key,
+                "fn": cell.fn,
+                "kwargs": cell.kwargs,
+                "seed": cell.seed,
+                "check_level": ambient_level,
+            }
+        )
+
+    def finish(raw: Tuple[str, str, Any, float, int]) -> None:
+        key, status, value, elapsed, pid = raw
+        if status == "failed":
+            settle(
+                SweepCellResult(
+                    key, "failed", error=value["error"], traceback=value["traceback"],
+                    elapsed_s=elapsed, worker=pid,
+                )
+            )
+            return
+        if cache is not None:
+            cell = next(c for c in spec.cells if c.key == key)
+            cache.write(cache.path(key, cell.payload()), value)
+        settle(SweepCellResult(key, "ok", value=value, elapsed_s=elapsed, worker=pid))
+
+    if pending:
+        n_workers = min(max(1, workers), len(pending))
+        if n_workers == 1:
+            for payload in pending:
+                finish(_execute_payload(payload))
+        else:
+            # chunksize=1: cells are coarse (a whole training run or
+            # simulation each), so fair dealing beats batching.
+            with multiprocessing.Pool(processes=n_workers) as pool:
+                for raw in pool.imap_unordered(_execute_payload, pending, chunksize=1):
+                    finish(raw)
+
+    ordered = [by_key[cell.key] for cell in spec.cells]
+    result = SweepResult(
+        spec_name=spec.name,
+        workers=workers,
+        cells=ordered,
+        elapsed_s=time.perf_counter() - start,
+    )
+    if strict and not result.ok:
+        raise SweepError(
+            f"sweep {spec.name!r}: {len(result.failures)} cell(s) failed: "
+            + ", ".join(c.key for c in result.failures)
+        )
+    return result

@@ -6,6 +6,7 @@ import pytest
 from repro.core.patterns import Direction, PatternFamily
 from repro.hw.config import tb_stc, tensor_core
 from repro.sim.engine import PIPELINE_FILL_CYCLES, block_segments, simulate
+from repro.sim.options import SimOptions
 from repro.sim.baselines import arch_by_name, simulate_arch, simulate_layer_sweep
 from repro.sim.metrics import aggregate, normalized_edp, speedup
 from repro.workloads.generator import build_workload
@@ -77,17 +78,17 @@ class TestSimulate:
 
     def test_weight_bits_speeds_memory(self):
         fp16 = simulate(tb_stc(), _wl())
-        int8 = simulate(tb_stc(), _wl(), weight_bits=8)
+        int8 = simulate(tb_stc(), _wl(), options=SimOptions(weight_bits=8))
         assert int8.memory_cycles < fp16.memory_cycles
         assert int8.cycles <= fp16.cycles
 
     def test_weight_bits_validation(self):
         with pytest.raises(ValueError):
-            simulate(tb_stc(), _wl(), weight_bits=1)
+            simulate(tb_stc(), _wl(), options=SimOptions(weight_bits=1))
 
     def test_row_overhead_slows(self):
         base = simulate(tb_stc(), _wl())
-        loaded = simulate(tb_stc(), _wl(), row_overhead_cycles=1.0)
+        loaded = simulate(tb_stc(), _wl(), options=SimOptions(row_overhead_cycles=1.0))
         assert loaded.compute_cycles > base.compute_cycles
 
     def test_pipeline_fill_included(self):

@@ -8,6 +8,7 @@ from repro.faults.ecc import ECCConfig
 from repro.hw.config import rm_stc, tb_stc, tensor_core
 from repro.hw.scheduler import SimStallError
 from repro.sim.engine import simulate
+from repro.sim.options import SimOptions
 from repro.workloads.generator import build_workload
 from repro.workloads.layers import LayerSpec
 
@@ -22,22 +23,22 @@ class TestFaultClassification:
 
     def test_fault_lands_in_a_class(self):
         for seed in range(5):
-            res = simulate(tb_stc(), _workload(), fault="metadata", fault_seed=seed)
+            res = simulate(tb_stc(), _workload(), options=SimOptions(fault="metadata", fault_seed=seed))
             assert res.fault_classification in CLASSES
 
     def test_fault_seed_is_deterministic(self):
-        a = simulate(tb_stc(), _workload(), fault="values", fault_seed=3)
-        b = simulate(tb_stc(), _workload(), fault="values", fault_seed=3)
+        a = simulate(tb_stc(), _workload(), options=SimOptions(fault="values", fault_seed=3))
+        b = simulate(tb_stc(), _workload(), options=SimOptions(fault="values", fault_seed=3))
         assert a.fault_classification == b.fault_classification
 
     def test_timing_reported_for_fault_free_run(self):
         clean = simulate(tb_stc(), _workload())
-        faulted = simulate(tb_stc(), _workload(), fault="metadata", fault_seed=1)
+        faulted = simulate(tb_stc(), _workload(), options=SimOptions(fault="metadata", fault_seed=1))
         assert faulted.cycles == clean.cycles
 
     def test_inapplicable_target_returns_none(self):
         # Dense storage has no index arrays to flip.
-        res = simulate(tensor_core(), _workload(), fault="indices")
+        res = simulate(tensor_core(), _workload(), options=SimOptions(fault="indices"))
         assert res.fault_classification is None
 
     def test_secded_config_corrects_metadata_flips(self):
@@ -45,7 +46,9 @@ class TestFaultClassification:
         single-bit metadata flips into corrections."""
         for seed in range(5):
             res = simulate(
-                tb_stc().with_ecc("secded"), _workload(), fault="metadata", fault_seed=seed
+                tb_stc().with_ecc("secded"),
+                _workload(),
+                options=SimOptions(fault="metadata", fault_seed=seed),
             )
             assert res.fault_classification in ("corrected", "benign")
 
@@ -70,7 +73,7 @@ class TestECCOverheads:
         assert parity.breakdown["ecc_bytes"] < secded.breakdown["ecc_bytes"]
 
     def test_explicit_ecc_argument_overrides_config(self):
-        res = simulate(tb_stc(), _workload(), ecc=ECCConfig(mode="parity"))
+        res = simulate(tb_stc(), _workload(), options=SimOptions(ecc=ECCConfig(mode="parity")))
         assert res.breakdown["ecc_bytes"] > 0
 
     def test_bitmap_format_also_pays(self):
@@ -82,12 +85,12 @@ class TestECCOverheads:
 
 class TestCycleBudget:
     def test_generous_budget_passes(self):
-        res = simulate(tb_stc(), _workload(), cycle_budget=10**9)
+        res = simulate(tb_stc(), _workload(), options=SimOptions(cycle_budget=10**9))
         assert res.cycles > 0
 
     def test_tight_budget_raises_with_diagnostics(self):
         with pytest.raises(SimStallError, match="cycle budget") as excinfo:
-            simulate(tb_stc(), _workload(), cycle_budget=1)
+            simulate(tb_stc(), _workload(), options=SimOptions(cycle_budget=1))
         state = excinfo.value.state
         assert state["cycle_budget"] == 1
         assert state["total_cycles"] > 1
@@ -95,4 +98,4 @@ class TestCycleBudget:
 
     def test_budget_equal_to_cycles_passes(self):
         cycles = simulate(tb_stc(), _workload()).cycles
-        assert simulate(tb_stc(), _workload(), cycle_budget=cycles).cycles == cycles
+        assert simulate(tb_stc(), _workload(), options=SimOptions(cycle_budget=cycles)).cycles == cycles

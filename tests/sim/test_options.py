@@ -1,0 +1,168 @@
+"""Tests for the SimOptions value object and the legacy-kwargs shim."""
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.core.patterns import PatternFamily
+from repro.faults.ecc import ECCConfig
+from repro.hw.config import tb_stc
+from repro.hw.energy import EnergyParams
+from repro.sim.engine import _LEGACY_WARNED_SITES, simulate
+from repro.sim.metrics import SIM_RESULT_SCHEMA, SimResult
+from repro.sim.options import SimOptions
+from repro.workloads.generator import build_workload
+from repro.workloads.layers import LayerSpec
+
+LAYER = LayerSpec("test", 64, 64, 64)
+
+
+def _wl(sparsity=0.75, seed=0):
+    return build_workload(LAYER, PatternFamily.TBS, sparsity, seed=seed)
+
+
+class TestSimOptions:
+    def test_defaults(self):
+        opts = SimOptions()
+        assert opts.energy_params is None
+        assert opts.row_overhead_cycles == 0.0
+        assert opts.weight_bits == 16
+        assert opts.ecc is None
+        assert opts.fault is None
+        assert opts.fault_seed == 0
+        assert opts.cycle_budget is None
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimOptions().weight_bits = 8  # type: ignore[misc]
+
+    def test_hashable_and_picklable(self):
+        opts = SimOptions(weight_bits=8)
+        assert hash(opts) == hash(SimOptions(weight_bits=8))
+        assert pickle.loads(pickle.dumps(opts)) == opts
+
+    @pytest.mark.parametrize("bits", [0, 1, 17, 32])
+    def test_rejects_bad_weight_bits(self, bits):
+        with pytest.raises(ValueError, match="weight_bits"):
+            SimOptions(weight_bits=bits)
+
+    def test_rejects_negative_row_overhead(self):
+        with pytest.raises(ValueError, match="row_overhead_cycles"):
+            SimOptions(row_overhead_cycles=-1.0)
+
+    def test_rejects_unknown_fault_target(self):
+        with pytest.raises(ValueError, match="fault"):
+            SimOptions(fault="everything")
+
+    def test_rejects_bad_cycle_budget(self):
+        with pytest.raises(ValueError, match="cycle_budget"):
+            SimOptions(cycle_budget=0)
+
+    def test_with_returns_modified_copy(self):
+        base = SimOptions()
+        quant = base.with_(weight_bits=4)
+        assert quant.weight_bits == 4
+        assert base.weight_bits == 16
+        with pytest.raises(ValueError):
+            base.with_(weight_bits=99)  # validation runs on copies too
+
+    def test_dict_round_trip_defaults(self):
+        opts = SimOptions()
+        assert SimOptions.from_dict(opts.to_dict()) == opts
+
+    def test_dict_round_trip_nested(self):
+        opts = SimOptions(
+            energy_params=EnergyParams(),
+            row_overhead_cycles=2.5,
+            weight_bits=8,
+            ecc=ECCConfig(mode="secded"),
+            fault="metadata",
+            fault_seed=7,
+            cycle_budget=10**9,
+        )
+        back = SimOptions.from_dict(opts.to_dict())
+        assert back.energy_params == opts.energy_params
+        assert back.ecc.mode == "secded"
+        assert back.with_(energy_params=None, ecc=None) == opts.with_(
+            energy_params=None, ecc=None
+        )
+
+
+class TestSimulateOptions:
+    def test_options_object_matches_legacy_kwargs(self):
+        wl = _wl()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = simulate(tb_stc(), wl, weight_bits=8, row_overhead_cycles=1.0)
+        new = simulate(
+            tb_stc(), wl, options=SimOptions(weight_bits=8, row_overhead_cycles=1.0)
+        )
+        assert new.to_dict() == legacy.to_dict()
+
+    def test_legacy_kwargs_warn_once_per_call_site(self):
+        wl = _wl()
+        _LEGACY_WARNED_SITES.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                simulate(tb_stc(), wl, weight_bits=8)  # one site, three calls
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "SimOptions" in str(deprecations[0].message)
+
+    def test_distinct_call_sites_each_warn(self):
+        wl = _wl()
+        _LEGACY_WARNED_SITES.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            simulate(tb_stc(), wl, weight_bits=8)
+            simulate(tb_stc(), wl, weight_bits=8)  # a different line -> warns again
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 2
+
+    def test_rejects_mixing_options_and_legacy(self):
+        with pytest.raises(TypeError, match="not both"):
+            simulate(tb_stc(), _wl(), options=SimOptions(), weight_bits=8)
+
+    def test_rejects_unknown_kwarg(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            simulate(tb_stc(), _wl(), turbo=True)
+
+    def test_positional_legacy_energy_params_still_works(self):
+        wl = _wl()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = simulate(tb_stc(), wl, EnergyParams())
+        new = simulate(tb_stc(), wl, options=SimOptions(energy_params=EnergyParams()))
+        assert new.to_dict() == legacy.to_dict()
+
+
+class TestSimResultSerialization:
+    def test_round_trip(self):
+        result = simulate(tb_stc(), _wl())
+        payload = result.to_dict()
+        assert payload["schema_version"] == SIM_RESULT_SCHEMA
+        back = SimResult.from_dict(payload)
+        assert back.to_dict() == payload
+        assert back.cycles == result.cycles
+        assert back.edp == pytest.approx(result.edp)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        result = simulate(tb_stc(), _wl())
+        back = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert back.to_dict() == result.to_dict()
+
+    def test_schema_mismatch_raises(self):
+        payload = simulate(tb_stc(), _wl()).to_dict()
+        payload["schema_version"] = SIM_RESULT_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            SimResult.from_dict(payload)
+
+    def test_missing_schema_raises(self):
+        payload = simulate(tb_stc(), _wl()).to_dict()
+        del payload["schema_version"]
+        with pytest.raises(ValueError, match="schema"):
+            SimResult.from_dict(payload)

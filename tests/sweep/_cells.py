@@ -1,0 +1,40 @@
+"""Module-level cell bodies for the sweep tests.
+
+Worker processes re-import cell callables by ``module:qualname``
+reference, so everything a sweep runs must live at module level --
+hence this helper module rather than closures inside the tests.
+"""
+
+import os
+
+
+def add(a, b):
+    return a + b
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise ValueError(f"injected failure on {x}")
+
+
+def boom_on(x, bad):
+    if x == bad:
+        raise RuntimeError(f"cell {x} exploded")
+    return x * 10
+
+
+def unpicklable(x):
+    return lambda: x  # lambdas cannot cross the process boundary
+
+
+def pid_of_worker():
+    return os.getpid()
+
+
+def ambient_check_level():
+    from repro.runtime.checks import get_check_level
+
+    return get_check_level()
