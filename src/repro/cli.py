@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Six commands:
+Seven commands:
 
 * ``report`` -- run one (or all) of the paper's experiments and print
   its table(s); experiment names follow the paper (``table1`` ...
@@ -28,6 +28,15 @@ Six commands:
   (:mod:`repro.perf.bench`) and write ``BENCH_<name>.json``;
   ``--compare BENCH_baseline.json`` turns it into a regression gate
   (exit 1 when any bench exceeds the baseline by ``--tolerance``).
+* ``trace`` -- run one experiment with observability on
+  (:mod:`repro.obs`) and write a Chrome ``trace_event`` JSON viewable
+  in Perfetto (``--out trace.json``); ``--metrics`` additionally dumps
+  the merged deterministic metrics.
+
+``--metrics PATH`` (report/sweep/faults/trace) enables the
+observability layer for the run and writes its merged
+counter/gauge/histogram registry -- deterministic and byte-identical at
+any ``--workers N`` -- to ``PATH`` as JSON.
 
 ``--checks {off,warn,strict}`` (all commands) selects the runtime
 invariant level (:mod:`repro.runtime.checks`); under ``strict``,
@@ -87,6 +96,15 @@ def _add_workers_flag(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="enable the observability layer and write its merged "
+        "deterministic metrics (counters/gauges/histograms) to PATH as "
+        "JSON; byte-identical at any --workers N",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="TB-STC (HPCA 2025) reproduction toolkit"
@@ -111,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="extra attempts per experiment cell before it is declared failed",
     )
+    _add_metrics_flag(report)
     _add_checks_flags(report, "runtime invariant level for mask/format checking")
 
     sweep = sub.add_parser(
@@ -133,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the raw aggregated data as JSON instead of the rendered table",
     )
+    _add_metrics_flag(sweep)
     _add_checks_flags(sweep, "runtime invariant level for mask/format checking")
 
     prune = sub.add_parser("prune", help="prune a .npy weight matrix")
@@ -210,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the campaign spec and per-cell counts as JSON",
     )
+    _add_metrics_flag(faults)
 
     perf = sub.add_parser("perf", help="run the benchmark suite / regression gate")
     perf.add_argument(
@@ -241,12 +262,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the suite N times and keep the per-bench best "
         "(use for committed baselines; default: 1)",
     )
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment with tracing on and write a Chrome trace"
+    )
+    trace.add_argument("experiment", choices=_EXPERIMENTS)
+    trace.add_argument("--seeds", type=int, default=1, help="number of seeds for accuracy runs")
+    trace.add_argument("--epochs", type=int, default=8, help="training epochs for accuracy runs")
+    trace.add_argument("--scale", type=int, default=4, help="layer down-scaling for simulator runs")
+    _add_workers_flag(trace)
+    trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="Chrome trace_event JSON output, viewable in Perfetto / "
+        "chrome://tracing (default: trace.json)",
+    )
+    trace.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="also write the run's merged deterministic metrics to PATH as JSON",
+    )
+    _add_checks_flags(trace, "runtime invariant level for mask/format checking")
     return parser
 
 
 def _fail(message: str) -> int:
     print(f"error: {message}", file=sys.stderr)
     return 2
+
+
+def _write_metrics_file(path: str) -> None:
+    """Dump the ambient observability registry's deterministic view."""
+    import json
+
+    from . import obs
+
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obs.metrics_dict(deterministic_only=True), fh, sort_keys=True, indent=2)
+        fh.write("\n")
+
+
+def _maybe_with_metrics(args, body) -> int:
+    """Run ``body`` with observability on when ``--metrics PATH`` was given.
+
+    The registry and trace buffer are reset first so the file reflects
+    exactly this invocation; the dump happens even when the command
+    fails, so a partial run still leaves forensics behind.
+    """
+    path = getattr(args, "metrics", None)
+    if not path:
+        return body()
+    from . import obs
+
+    obs.reset()
+    with obs.enabled_scope():
+        rc = body()
+        try:
+            _write_metrics_file(path)
+        except OSError as exc:
+            return _fail(f"cannot write metrics to {path!r}: {exc}")
+    print(f"[repro] metrics -> {path}", file=sys.stderr)
+    return rc
 
 
 def _check_sparsity(value: float) -> Optional[str]:
@@ -559,6 +633,45 @@ def _print_ecc_overheads(spec, ecc) -> None:
           f"+{ecc_pj:.2f} pJ ECC energy")
 
 
+def _run_trace(args) -> int:
+    from . import obs
+    from .analysis.experiments import run_experiment
+    from .sweep import SweepError, configured_workers
+
+    if args.seeds < 1:
+        return _fail(f"--seeds must be >= 1, got {args.seeds}")
+    try:
+        workers = configured_workers(args.workers)
+    except SweepError as exc:
+        return _fail(str(exc))
+
+    obs.reset()
+    with obs.enabled_scope():
+        try:
+            run_experiment(
+                args.experiment,
+                seeds=tuple(range(args.seeds)),
+                epochs=args.epochs,
+                scale=args.scale,
+                workers=workers,
+            )
+        except SweepError as exc:
+            return _fail(str(exc))
+        trace = obs.to_chrome_trace()
+        try:
+            obs.write_chrome_trace(args.out)
+        except OSError as exc:
+            return _fail(f"cannot write trace to {args.out!r}: {exc}")
+        if args.metrics:
+            try:
+                _write_metrics_file(args.metrics)
+            except OSError as exc:
+                return _fail(f"cannot write metrics to {args.metrics!r}: {exc}")
+    print(f"trace {args.experiment}: {len(trace['traceEvents'])} events -> {args.out}"
+          + (f", metrics -> {args.metrics}" if args.metrics else ""))
+    return 0
+
+
 def _run_perf(args) -> int:
     import os
 
@@ -633,17 +746,19 @@ def _run_perf(args) -> int:
 
 def _dispatch(args) -> int:
     if args.command == "report":
-        return _run_report(args)
+        return _maybe_with_metrics(args, lambda: _run_report(args))
     if args.command == "sweep":
-        return _run_sweep_cmd(args)
+        return _maybe_with_metrics(args, lambda: _run_sweep_cmd(args))
     if args.command == "prune":
         return _run_prune(args)
     if args.command == "simulate":
         return _run_simulate(args)
     if args.command == "faults":
-        return _run_faults(args)
+        return _maybe_with_metrics(args, lambda: _run_faults(args))
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "trace":
+        return _run_trace(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

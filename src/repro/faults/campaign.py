@@ -40,6 +40,9 @@ import numpy as np
 from ..core.patterns import PatternFamily, PatternSpec
 from ..core.sparsify import tbs_sparsify
 from ..formats.base import EncodedMatrix, SparseFormat
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+from ..obs.state import enabled as _obs_enabled
 from ..formats.bitmap import BitmapFormat
 from ..formats.csr import CSRFormat
 from ..formats.ddc import DDCFormat
@@ -228,22 +231,31 @@ def classify_decode(
         verdict = adjudicate(record.meta_word_flips, ecc)
         if verdict == "corrected":
             record.revert(encoded)
-            return "corrected"
+            if _obs_enabled():
+                obs_metrics.counter_add("faults.ecc_corrections")
+            return _classified("corrected")
         if verdict == "detected":
-            return "uncorrected"
+            return _classified("uncorrected")
         # undetected: the corruption sails past the ECC; fall through to
         # the software-visible checks below.
     try:
         decoded = fmt.decode(encoded)
     except Exception:  # noqa: BLE001 - any decode crash is a loud detection
-        return "detected"
+        return _classified("detected")
     if decoded.shape != expected.shape:
-        return "detected"
+        return _classified("detected")
     if np.array_equal(decoded, expected):
-        return "benign"
+        return _classified("benign")
     if _integrity_flagged(decoded, encoded, pattern_spec, level):
-        return "detected"
-    return "silent"
+        return _classified("detected")
+    return _classified("silent")
+
+
+def _classified(outcome: str) -> str:
+    """Bump the per-class counter (when obs is on) and pass through."""
+    if _obs_enabled():
+        obs_metrics.counter_add(f"faults.class.{outcome}")
+    return outcome
 
 
 def _make_format(name: str, m: int) -> SparseFormat:
@@ -323,12 +335,13 @@ def run_trial(spec: CampaignSpec, fmt_name: str, model: str, trial: int) -> Opti
 def run_cell(spec: CampaignSpec, fmt_name: str, model: str) -> CellOutcome:
     """All trials of one (format, fault model) cell."""
     outcome = CellOutcome(fmt_name, model)
-    for trial in range(spec.trials):
-        result = run_trial(spec, fmt_name, model, trial)
-        if result is None:
-            outcome.skipped += 1
-        else:
-            outcome.counts[result] += 1
+    with obs_tracer.span(f"faults.cell.{fmt_name}.{model}", trials=spec.trials):
+        for trial in range(spec.trials):
+            result = run_trial(spec, fmt_name, model, trial)
+            if result is None:
+                outcome.skipped += 1
+            else:
+                outcome.counts[result] += 1
     return outcome
 
 

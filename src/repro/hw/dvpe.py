@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs.state import enabled as _obs_enabled
 from ..perf import timed
 from .mapping import BlockWork, MappedSchedule, map_balanced, map_naive
 
@@ -125,6 +127,9 @@ class DVPE:
         if counts.ndim != 2:
             raise ValueError(f"expected (n_blocks, m) counts, got {counts.shape}")
         n_blocks = counts.shape[0]
+        if _obs_enabled():
+            obs_metrics.counter_add("hw.dvpe.batches")
+            obs_metrics.counter_add("hw.dvpe.blocks_costed", int(n_blocks))
         lanes = self.lanes
         if not self.intra_block_mapping:
             # Naive mapping: one segment per issue group, so at most one

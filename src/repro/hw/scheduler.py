@@ -31,6 +31,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs.state import enabled as _obs_enabled
+from ..obs.tracer import instant as _obs_instant
 from ..perf import use_reference_impl
 from ..perf.timers import enabled as _perf_enabled
 from ..perf.timers import snapshot as _perf_snapshot
@@ -55,10 +58,21 @@ class SimStallError(RuntimeError):
     blocks, buffer contents, and -- when stage timing is enabled -- the
     perf snapshot taken at stall time under the ``"perf"`` key) so the
     stall is debuggable post-mortem.
+
+    ``cause`` is a short machine-readable tag (``"fetch_no_progress"``,
+    ``"stream_overrun"``, ``"cycle_budget"``); when observability is on,
+    constructing the error bumps the ``stall.<cause>`` counter and emits
+    an instant trace event, so stall distribution is visible in sweep
+    metrics without the raise site doing anything extra.
     """
 
-    def __init__(self, message: str, state: Optional[dict] = None):
+    def __init__(
+        self, message: str, state: Optional[dict] = None, cause: Optional[str] = None
+    ):
+        self.cause = cause
         self.state = dict(state or {})
+        if cause is not None:
+            self.state.setdefault("cause", cause)
         if self.state:
             detail = ", ".join(f"{k}={v!r}" for k, v in sorted(self.state.items()))
             message = f"{message} [{detail}]"
@@ -66,6 +80,9 @@ class SimStallError(RuntimeError):
             # Kept out of the message (stage splits are bulky); available
             # to post-mortem tooling via the state dump.
             self.state.setdefault("perf", _perf_snapshot())
+        if _obs_enabled():
+            obs_metrics.counter_add(f"stall.{cause or 'unknown'}")
+            _obs_instant("stall", cause=cause or "unknown")
         super().__init__(message)
 
 
@@ -176,6 +193,9 @@ def schedule_direct(
     pad = (-n) % num_pes
     waves = (np.pad(arr, (0, pad)) if pad else arr).reshape(-1, num_pes)
     wave_max = waves.max(axis=1)
+    if _obs_enabled():
+        for w in wave_max.tolist():
+            obs_metrics.observe("hw.scheduler.wave_cycles", w)
     if arr.dtype.kind == "f":
         # Left-to-right Python summation: bit-identical to the reference
         # loop's sequential accumulation (float addition is not
@@ -204,6 +224,8 @@ def _schedule_direct_reference(
         if record:
             for pe, cost in enumerate(wave):
                 assignments.append(Assignment(w0 + pe, pe, makespan, makespan + cost))
+        if _obs_enabled():
+            obs_metrics.observe("hw.scheduler.wave_cycles", max(wave))
         makespan += max(wave)
         for pe, cost in enumerate(wave):
             busy[pe] += cost
@@ -282,11 +304,14 @@ def schedule_sparsity_aware(
         # stream, and spinning here would hang the whole report pipeline.
         if not buffer:
             raise SimStallError(
-                "scheduler fetch stage made no progress", state=_stall_state()
+                "scheduler fetch stage made no progress",
+                cause="fetch_no_progress",
+                state=_stall_state(),
             )
         if dispatched >= n_blocks:
             raise SimStallError(
                 "scheduler dispatched every block but the stream claims more pending",
+                cause="stream_overrun",
                 state=_stall_state(),
             )
         # Dispatch the heaviest visible block to the earliest-free PE.
@@ -322,6 +347,10 @@ def _dispatch_array(
     n_blocks = int(arr.shape[0])
     int_costs = arr.dtype.kind != "f"
     costs_list = arr.tolist()
+    if _obs_enabled():
+        obs_metrics.counter_add("hw.scheduler.blocks_dispatched", n_blocks)
+        for c in costs_list:
+            obs_metrics.observe("hw.scheduler.block_cycles", c)
     busy = [0] * num_pes if int_costs else [0.0] * num_pes
     buffer: List[Tuple] = []  # max-heap of (-cost, -block_id)
     heap = [(0, pe) for pe in range(num_pes)]  # (free_time, pe)
@@ -386,11 +415,14 @@ def _schedule_sparsity_aware_reference(
             fetch_cursor += 1
         if not buffer:
             raise SimStallError(
-                "scheduler fetch stage made no progress", state=_stall_state()
+                "scheduler fetch stage made no progress",
+                cause="fetch_no_progress",
+                state=_stall_state(),
             )
         if dispatched >= n_blocks:
             raise SimStallError(
                 "scheduler dispatched every block but the stream claims more pending",
+                cause="stream_overrun",
                 state=_stall_state(),
             )
         buffer.sort(reverse=True)

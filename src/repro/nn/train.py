@@ -31,6 +31,9 @@ import numpy as np
 from ..core.masks import make_mask, unstructured_mask
 from ..core.patterns import PatternFamily, PatternSpec
 from ..core.sparsify import tbs_sparsify
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+from ..obs.state import enabled as _obs_enabled
 from ..perf import stage, timed
 from ..runtime.checkpoint import CheckpointStore
 from ..runtime.checks import check_mask
@@ -295,6 +298,11 @@ def train(
 
         if diverged is not None:
             action = wd.diverged(epoch, mean_loss, diverged)
+            if _obs_enabled():
+                obs_metrics.counter_add("nn.watchdog_rollbacks")
+                obs_tracer.instant(
+                    "nn.watchdog.rollback", epoch=epoch, reason=diverged, action=action
+                )
             result.watchdog_events = [e.as_dict() for e in wd.events]
             restore_train_state(last_good, model, layers, opt, rng, scheduler=scheduler)
             result.loss_history = list(last_good.meta["loss_history"])

@@ -1,11 +1,21 @@
 """Lightweight hierarchical stage timers (``perf_counter_ns`` based).
 
+Since the observability layer landed this module is a **thin adapter**
+over :mod:`repro.obs`: the ``name -> [calls, total_ns]`` storage lives
+in the obs metrics registry (its ``timers`` section, excluded from the
+deterministic cross-process export), and ``stage()``/``timed()`` are
+**dual-sink** -- when the obs switch is on they additionally emit B/E
+trace spans, so every ``@timed`` hot path (DVPE batches, format
+encodes, engine stages) shows up in the Chrome trace without a second
+set of instrumentation sites.  The public API and its semantics are
+unchanged; ``tests/perf/test_timers.py`` pins them.
+
 Design constraints:
 
-* **Zero overhead when disabled.**  ``stage(name)`` returns a shared
-  no-op context manager and ``timed(name)`` wrappers reduce to a single
-  boolean check, so instrumentation can stay wired into hot paths
-  permanently.
+* **Zero overhead when disabled.**  With both the timing flag and the
+  obs switch off, ``stage(name)`` returns a shared no-op context
+  manager and ``timed(name)`` wrappers reduce to two boolean checks, so
+  instrumentation can stay wired into hot paths permanently.
 * **Nesting-safe.**  Stages aggregate by name; a stage timed inside
   another contributes to both (the parent's total includes the child's),
   which is the natural reading of a per-stage wall-time split.
@@ -21,7 +31,11 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict
+
+from ..obs import metrics as _metrics
+from ..obs import state as _obs_state
+from ..obs import tracer as _tracer
 
 __all__ = [
     "capture",
@@ -36,8 +50,6 @@ __all__ = [
 ]
 
 _enabled = False
-#: name -> [calls, total_ns]
-_records: Dict[str, List[int]] = {}
 
 
 def enabled() -> bool:
@@ -59,29 +71,31 @@ def disable() -> None:
 
 def reset() -> None:
     """Drop every accumulated stage record."""
-    _records.clear()
+    _metrics.current_timers().clear()
 
 
 class _StageTimer:
-    """Records one timed region into the global registry on exit."""
+    """Times one region into the registry and/or traces it as a span."""
 
-    __slots__ = ("name", "start")
+    __slots__ = ("name", "start", "_timing", "_span")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, timing: bool, tracing: bool):
         self.name = name
+        self._timing = timing
+        self._span = _tracer.span(name) if tracing else None
 
     def __enter__(self) -> "_StageTimer":
-        self.start = time.perf_counter_ns()
+        if self._span is not None:
+            self._span.__enter__()
+        if self._timing:
+            self.start = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc) -> bool:
-        elapsed = time.perf_counter_ns() - self.start
-        rec = _records.get(self.name)
-        if rec is None:
-            _records[self.name] = [1, elapsed]
-        else:
-            rec[0] += 1
-            rec[1] += elapsed
+        if self._timing:
+            _metrics.timer_add(self.name, time.perf_counter_ns() - self.start)
+        if self._span is not None:
+            self._span.__exit__(*exc)
         return False
 
 
@@ -101,8 +115,15 @@ _NULL = _NullTimer()
 
 
 def stage(name: str):
-    """Context manager timing one region under ``name`` (no-op when off)."""
-    return _StageTimer(name) if _enabled else _NULL
+    """Context manager timing one region under ``name`` (no-op when off).
+
+    Dual-sink: wall time goes to the registry when timing is enabled,
+    and a B/E trace span is emitted when observability is enabled.
+    """
+    tracing = _obs_state.enabled()
+    if not (_enabled or tracing):
+        return _NULL
+    return _StageTimer(name, _enabled, tracing)
 
 
 def timed(name: str) -> Callable:
@@ -111,9 +132,10 @@ def timed(name: str) -> Callable:
     def deco(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            if not _enabled:
+            tracing = _obs_state.enabled()
+            if not (_enabled or tracing):
                 return fn(*args, **kwargs)
-            with _StageTimer(name):
+            with _StageTimer(name, _enabled, tracing):
                 return fn(*args, **kwargs)
 
         return wrapper
@@ -125,7 +147,7 @@ def snapshot() -> Dict[str, Dict[str, float]]:
     """Current totals: ``{stage: {"calls": n, "seconds": s}}``."""
     return {
         name: {"calls": rec[0], "seconds": rec[1] / 1e9}
-        for name, rec in _records.items()
+        for name, rec in _metrics.current_timers().items()
     }
 
 
@@ -135,15 +157,20 @@ class capture:
     The yielded dict is empty during the block and is filled at exit with
     the per-stage deltas (same shape as :func:`snapshot`), so callers can
     attribute timings to one region without resetting global state.
+
+    Reads the *currently installed* registry at both ends, so it nests
+    correctly inside an ``obs.metrics.capture`` registry swap.
     """
 
     def __enter__(self) -> Dict[str, Dict[str, float]]:
-        self._before = {name: (rec[0], rec[1]) for name, rec in _records.items()}
+        self._before = {
+            name: (rec[0], rec[1]) for name, rec in _metrics.current_timers().items()
+        }
         self.stages: Dict[str, Dict[str, float]] = {}
         return self.stages
 
     def __exit__(self, *exc) -> bool:
-        for name, rec in _records.items():
+        for name, rec in _metrics.current_timers().items():
             calls0, ns0 = self._before.get(name, (0, 0))
             dcalls = rec[0] - calls0
             dns = rec[1] - ns0

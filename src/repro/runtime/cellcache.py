@@ -30,6 +30,9 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
+from ..obs import metrics as obs_metrics
+from ..obs.state import enabled as _obs_enabled
+
 __all__ = ["CellCache", "cache_key"]
 
 
@@ -56,12 +59,19 @@ class CellCache:
     def read(self, path: Optional[Path]) -> Any:
         """Cached value at ``path``, or None on miss/corruption."""
         if path is None or not path.exists():
+            if _obs_enabled():
+                obs_metrics.counter_add("cellcache.misses")
             return None
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                value = pickle.load(fh)
         except Exception:  # corrupt cache entry: recompute, don't crash
+            if _obs_enabled():
+                obs_metrics.counter_add("cellcache.corrupt")
             return None
+        if _obs_enabled():
+            obs_metrics.counter_add("cellcache.hits")
+        return value
 
     def write(self, path: Optional[Path], value: Any) -> None:
         """Atomically publish ``value`` at ``path`` (write + rename)."""

@@ -28,6 +28,9 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+from ..obs.state import enabled as _obs_enabled
 from .state import TrainState
 
 __all__ = ["CheckpointError", "CheckpointStore"]
@@ -66,25 +69,32 @@ class CheckpointStore:
 
     def save(self, state: TrainState) -> Path:
         """Atomically persist ``state``; returns the published path."""
-        meta_json = json.dumps(state.meta, sort_keys=True)
-        digest = _payload_digest(state, meta_json)[:12]
-        path = self.directory / f"ckpt-{state.epoch:05d}-{digest}.npz"
-        if path.exists():  # content-addressed: identical state already stored
+        with obs_tracer.span("checkpoint.save", epoch=state.epoch):
+            meta_json = json.dumps(state.meta, sort_keys=True)
+            digest = _payload_digest(state, meta_json)[:12]
+            path = self.directory / f"ckpt-{state.epoch:05d}-{digest}.npz"
+            if path.exists():  # content-addressed: identical state already stored
+                if _obs_enabled():
+                    obs_metrics.counter_add("checkpoint.saves_deduped")
+                return path
+            payload = dict(state.arrays)
+            payload[_META_KEY] = np.array(meta_json)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-ckpt-", suffix=".npz", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(fh, **payload)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+            if _obs_enabled():
+                obs_metrics.counter_add("checkpoint.saves")
+            if self.max_keep is not None:
+                self._prune()
             return path
-        payload = dict(state.arrays)
-        payload[_META_KEY] = np.array(meta_json)
-        fd, tmp = tempfile.mkstemp(prefix=".tmp-ckpt-", suffix=".npz", dir=self.directory)
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, **payload)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        if self.max_keep is not None:
-            self._prune()
-        return path
 
     def _prune(self) -> None:
         paths = self.list()

@@ -25,6 +25,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from ..obs import metrics as obs_metrics
+from ..obs import tracer as obs_tracer
+from ..obs.state import enabled as _obs_enabled
 from .cellcache import CellCache, cache_key
 
 __all__ = ["CellResult", "ExperimentRunner"]
@@ -93,28 +96,37 @@ class ExperimentRunner:
         if self.resume:
             cached = self._read_cache(path)
             if cached is not None:
+                if _obs_enabled():
+                    obs_metrics.counter_add("runner.cells_cached")
                 result = CellResult(name, "cached", value=cached)
                 self.results.append(result)
                 return result
         start = time.perf_counter()
         error: Optional[str] = None
         attempts = 0
-        for attempt in range(self.retries + 1):
-            attempts = attempt + 1
-            try:
-                value = fn(**kwargs)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:  # noqa: BLE001 - cell isolation is the point
-                error = f"{type(exc).__name__}: {exc}"
-                continue
-            self._write_cache(path, value)
-            result = CellResult(
-                name, "ok", value=value, attempts=attempts,
-                elapsed_s=time.perf_counter() - start,
-            )
-            self.results.append(result)
-            return result
+        with obs_tracer.span(f"runner.cell.{name}"):
+            for attempt in range(self.retries + 1):
+                attempts = attempt + 1
+                if attempt and _obs_enabled():
+                    obs_metrics.counter_add("runner.cell_retries")
+                try:
+                    value = fn(**kwargs)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - cell isolation is the point
+                    error = f"{type(exc).__name__}: {exc}"
+                    continue
+                self._write_cache(path, value)
+                if _obs_enabled():
+                    obs_metrics.counter_add("runner.cells_ok")
+                result = CellResult(
+                    name, "ok", value=value, attempts=attempts,
+                    elapsed_s=time.perf_counter() - start,
+                )
+                self.results.append(result)
+                return result
+        if _obs_enabled():
+            obs_metrics.counter_add("runner.cells_failed")
         result = CellResult(
             name, "failed", error=error, attempts=attempts,
             elapsed_s=time.perf_counter() - start,

@@ -49,6 +49,8 @@ from ..hw.dvpe import DVPE
 from ..hw.energy import EnergyModel, EnergyParams
 from ..hw.mapping import BlockWork
 from ..hw.scheduler import SimStallError, schedule_direct, schedule_sparsity_aware
+from ..obs import metrics as obs_metrics
+from ..obs.state import enabled as _obs_enabled
 from ..perf import stage, use_reference_impl
 from ..perf.timers import capture
 from ..perf.timers import enabled as _perf_enabled
@@ -137,7 +139,11 @@ def _block_costs(
     cached = _COST_MEMO.get(key)
     if cached is not None:
         _COST_MEMO.move_to_end(key)
+        if _obs_enabled():
+            obs_metrics.counter_add("sim.cost_memo.hits")
         return cached
+    if _obs_enabled():
+        obs_metrics.counter_add("sim.cost_memo.misses")
     pe = DVPE(
         lanes=config.lanes_per_pe,
         output_port_width=config.output_port_width,
@@ -186,6 +192,19 @@ def _block_costs_reference(
 #: dictionary lookup.  Entries are marked read-only before sharing.
 _COST_MEMO: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 _COST_MEMO_SIZE = 256
+
+
+def clear_cost_memo() -> None:
+    """Empty the block-cost memo.
+
+    The sweep engine calls this at each cell boundary when observability
+    is on: memo warmth is process-history-dependent, so without the
+    reset a cell's hit/miss counters would depend on which worker ran it
+    -- and ``--workers N`` metrics would stop being byte-identical to
+    serial.  (With obs off the memo is left warm; it is a pure cache and
+    never changes results.)
+    """
+    _COST_MEMO.clear()
 
 
 #: Codec lane provisioning: 16 lanes x 2 elements/cycle matches the
@@ -359,9 +378,10 @@ def _coerce_options(options, legacy_args: tuple, legacy_kwargs: dict) -> SimOpti
     site = (frame.f_code.co_filename, frame.f_lineno)
     if site not in _LEGACY_WARNED_SITES:
         _LEGACY_WARNED_SITES.add(site)
+        fields = ", ".join(f"{name}=..." for name in sorted(legacy))
         warnings.warn(
-            f"simulate({', '.join(sorted(legacy))}=...) is deprecated; pass "
-            "simulate(config, workload, options=SimOptions(...)) instead",
+            f"simulate({fields}) is deprecated; pass "
+            f"simulate(config, workload, options=SimOptions({fields})) instead",
             DeprecationWarning,
             stacklevel=3,
         )
@@ -409,6 +429,13 @@ def simulate(
     per-stage wall-time split of this call lands in
     ``SimResult.perf_breakdown``; with timing off the instrumentation
     reduces to one boolean check.
+
+    When observability is enabled (:func:`repro.obs.enable`), the
+    deterministic metrics recorded inside this call (memo hit rates,
+    wave-cycle histograms, stall causes, ...) land in
+    ``SimResult.metrics`` as a versioned dict, and every pipeline stage
+    is traced as a span; with it off (the default) ``metrics`` stays
+    ``None`` and outputs are byte-identical to an uninstrumented build.
     """
     if isinstance(options, SimOptions) or options is None:
         opts = _coerce_options(options, legacy_args, legacy_kwargs)
@@ -416,8 +443,29 @@ def simulate(
         # Positional legacy call: the third positional used to be
         # energy_params; shift it into the legacy tuple.
         opts = _coerce_options(None, (options,) + legacy_args, legacy_kwargs)
-    if not _perf_enabled():
+    if not _perf_enabled() and not _obs_enabled():
         return _simulate(config, workload, opts)
+    if not _obs_enabled():
+        result = _timed_simulate(config, workload, opts)
+        return result
+    # Metrics capture swaps in a fresh registry, so the obs payload is the
+    # exact per-call delta; timer records made inside are merged back to
+    # the ambient registry at exit (obs.metrics.capture docs).
+    mcap = obs_metrics.capture()
+    with mcap as metrics:
+        obs_metrics.counter_add("sim.simulate_calls")
+        result = _timed_simulate(config, workload, opts)
+    result.metrics = metrics
+    return result
+
+
+def _timed_simulate(
+    config: ArchConfig, workload: GEMMWorkload, opts: SimOptions
+) -> SimResult:
+    """Run :func:`_simulate` under the stage-timer/tracer envelope."""
+    if not _perf_enabled():
+        with stage("sim.engine.simulate"):
+            return _simulate(config, workload, opts)
     cap = capture()
     with cap as stages:
         with stage("sim.engine.simulate"):
@@ -465,6 +513,8 @@ def _simulate(
     # Small layers cannot fill the PE array with blocks alone; replicate
     # tasks across B-column tiles so spatial parallelism is preserved.
     n_blocks = len(costs)
+    if _obs_enabled():
+        obs_metrics.counter_add("sim.blocks", n_blocks)
     k = workload.b_cols
     replication = 1
     if n_blocks < 2 * config.num_pes and k > 1:
@@ -509,6 +559,7 @@ def _simulate(
     if cycle_budget is not None and total_cycles > cycle_budget:
         raise SimStallError(
             f"simulation of {workload.name!r} on {config.name!r} exceeded its cycle budget",
+            cause="cycle_budget",
             state={
                 "total_cycles": total_cycles,
                 "cycle_budget": cycle_budget,

@@ -13,7 +13,9 @@ __all__ = ["SIM_RESULT_SCHEMA", "SimResult", "speedup", "normalized_edp", "aggre
 #: field is added/renamed/retyped so cached or cross-process payloads
 #: from older code fail loudly in ``from_dict`` instead of silently
 #: deserializing into the wrong shape.
-SIM_RESULT_SCHEMA = 1
+#:
+#: History: 2 added the ``metrics`` key (observability payload).
+SIM_RESULT_SCHEMA = 2
 
 
 @dataclass
@@ -42,6 +44,12 @@ class SimResult:
     #: ``{stage: {"calls": n, "seconds": s}}``.  Not scaled or aggregated
     #: -- it describes the simulator, not the modeled hardware.
     perf_breakdown: Optional[Dict[str, Dict[str, float]]] = None
+    #: Deterministic observability payload of this ``simulate()`` call
+    #: (``repro.obs.metrics`` ``to_dict(deterministic_only=True)``
+    #: shape, own ``schema_version``), present only when observability
+    #: was enabled (``repro.obs.enable()``).  Like ``perf_breakdown`` it
+    #: describes the simulator run, so ``scaled``/``aggregate`` drop it.
+    metrics: Optional[Dict] = None
 
     @property
     def time_s(self) -> float:
@@ -82,6 +90,7 @@ class SimResult:
             "breakdown": dict(self.breakdown),
             "fault_classification": self.fault_classification,
             "perf_breakdown": self.perf_breakdown,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -108,6 +117,7 @@ class SimResult:
             breakdown={str(k): float(v) for k, v in data["breakdown"].items()},
             fault_classification=data.get("fault_classification"),
             perf_breakdown=data.get("perf_breakdown"),
+            metrics=data.get("metrics"),
         )
 
     def scaled(self, repeats: int) -> "SimResult":

@@ -34,6 +34,9 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from ..obs import metrics as obs_metrics
+from ..obs import state as obs_state
+from ..obs import tracer as obs_tracer
 from ..runtime.cellcache import CellCache
 from ..runtime.checks import check_level, get_check_level
 from .spec import SweepSpec, resolve_fn
@@ -102,6 +105,13 @@ class SweepCellResult:
     traceback: Optional[str] = None  #: full formatted traceback for failed cells
     elapsed_s: float = 0.0
     worker: Optional[int] = None  #: pid of the process that ran the cell
+    #: Deterministic observability payload of this cell's execution
+    #: (``repro.obs.metrics`` ``to_dict(deterministic_only=True)``),
+    #: present only when observability was enabled at submit time.  The
+    #: cell body runs against a fresh registry (and a cleared block-cost
+    #: memo), so the payload is identical whichever worker ran it --
+    #: failed cells keep theirs as forensics.  Cached cells have None.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -146,33 +156,104 @@ class SweepResult:
             f"{failed} failed) in {self.elapsed_s:.2f} s with {self.workers} worker(s)"
         )
 
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """Merged deterministic metrics of the whole sweep, or None.
 
-def _execute_payload(payload: Dict[str, Any]) -> Tuple[str, str, Any, float, int]:
+        Folds every cell's payload in **spec order** (the merge is
+        order-insensitive anyway; spec order makes the identity obvious)
+        and adds the orchestration counters
+        ``sweep.cells_{ok,cached,failed}`` -- so the dict is
+        byte-identical between ``--workers 1`` and ``--workers N``.
+        """
+        payloads = [c.metrics for c in self.cells if c.metrics is not None]
+        if not payloads and not obs_state.enabled():
+            return None
+        reg = obs_metrics.MetricsRegistry.merged(payloads)
+        for status in ("ok", "cached", "failed"):
+            n = sum(1 for c in self.cells if c.status == status)
+            if n:
+                reg.counter_add(f"sweep.cells_{status}", n)
+        return reg.to_dict(deterministic_only=True)
+
+
+class _ObsCellScope:
+    """Isolated observability collection for one sweep cell.
+
+    Installs a fresh metrics registry and trace buffer (and clears the
+    block-cost memo, whose warmth is process-history-dependent), enables
+    obs, and wraps the cell in a ``sweep.cell.<key>`` span.  ``close()``
+    exports the cell's deterministic metrics plus its trace events and
+    restores the previous sinks -- the same code runs inline and in
+    workers, which is what makes serial and parallel metrics identical.
+    """
+
+    def __init__(self, key: str):
+        self._key = key
+
+    def open(self) -> None:
+        from ..sim.engine import clear_cost_memo
+
+        clear_cost_memo()
+        self._prev_registry = obs_metrics.swap_registry()
+        self._prev_buffer = obs_tracer.swap_buffer()
+        self._was_enabled = obs_state.enabled()
+        obs_state.enable()
+        self._span = obs_tracer.span(f"sweep.cell.{self._key}")
+        self._span.__enter__()
+
+    def close(self) -> Dict[str, Any]:
+        self._span.__exit__(None, None, None)
+        exported = {
+            "metrics": obs_metrics.registry().to_dict(deterministic_only=True),
+            "events": obs_tracer.events(),
+        }
+        if not self._was_enabled:
+            obs_state.disable()
+        obs_metrics.swap_registry(self._prev_registry)
+        obs_tracer.swap_buffer(self._prev_buffer)
+        return exported
+
+
+def _execute_payload(
+    payload: Dict[str, Any],
+) -> Tuple[str, str, Any, float, int, Optional[Dict[str, Any]]]:
     """Run one cell body; never raises (the isolation boundary).
 
-    Returns ``(key, status, value_or_error, elapsed_s, pid)`` where a
-    failed cell's third slot is ``{"error": ..., "traceback": ...}``.
-    Runs in the worker process under ``workers > 1`` and inline under
-    ``workers <= 1`` -- one code path, so both modes compute the same
-    thing.
+    Returns ``(key, status, value_or_error, elapsed_s, pid, obs)`` where
+    a failed cell's third slot is ``{"error": ..., "traceback": ...}``
+    and ``obs`` (when the submitting process had observability on) is
+    ``{"metrics": ..., "events": [...]}``.  Runs in the worker process
+    under ``workers > 1`` and inline under ``workers <= 1`` -- one code
+    path, so both modes compute the same thing.  Obs enablement travels
+    in the payload (like ``check_level``) rather than relying on fork
+    inheritance, so spawn-based pools behave identically.
     """
     key = payload["key"]
     start = time.perf_counter()
+    obs_export: Optional[Dict[str, Any]] = None
     try:
         fn = resolve_fn(payload["fn"])
         if payload.get("seed") is not None:
             import numpy as np
 
             np.random.seed(payload["seed"] & 0xFFFFFFFF)
-        with check_level(payload.get("check_level", "off")):
-            value = fn(**payload["kwargs"])
-        pickle.dumps(value)  # fail *inside* the isolation boundary, not in the pool
+        scope = None
+        if payload.get("obs"):
+            scope = _ObsCellScope(key)
+            scope.open()
+        try:
+            with check_level(payload.get("check_level", "off")):
+                value = fn(**payload["kwargs"])
+            pickle.dumps(value)  # fail *inside* the isolation boundary, not in the pool
+        finally:
+            if scope is not None:
+                obs_export = scope.close()
     except KeyboardInterrupt:  # pragma: no cover - user abort must propagate
         raise
     except BaseException as exc:  # noqa: BLE001 - cell isolation is the point
         detail = {"error": f"{type(exc).__name__}: {exc}", "traceback": traceback.format_exc()}
-        return key, "failed", detail, time.perf_counter() - start, os.getpid()
-    return key, "ok", value, time.perf_counter() - start, os.getpid()
+        return key, "failed", detail, time.perf_counter() - start, os.getpid(), obs_export
+    return key, "ok", value, time.perf_counter() - start, os.getpid(), obs_export
 
 
 def run_sweep(
@@ -228,23 +309,35 @@ def run_sweep(
                 "kwargs": cell.kwargs,
                 "seed": cell.seed,
                 "check_level": ambient_level,
+                "obs": obs_state.enabled(),
             }
         )
 
-    def finish(raw: Tuple[str, str, Any, float, int]) -> None:
-        key, status, value, elapsed, pid = raw
+    def finish(raw: Tuple[str, str, Any, float, int, Optional[Dict[str, Any]]]) -> None:
+        key, status, value, elapsed, pid, obs_export = raw
+        cell_metrics = None
+        if obs_export is not None:
+            cell_metrics = obs_export["metrics"]
+            # Trace events keep their worker pid/clock, so ingesting in
+            # completion order is safe (per-track monotonicity holds).
+            obs_tracer.ingest(obs_export["events"])
         if status == "failed":
             settle(
                 SweepCellResult(
                     key, "failed", error=value["error"], traceback=value["traceback"],
-                    elapsed_s=elapsed, worker=pid,
+                    elapsed_s=elapsed, worker=pid, metrics=cell_metrics,
                 )
             )
             return
         if cache is not None:
             cell = next(c for c in spec.cells if c.key == key)
             cache.write(cache.path(key, cell.payload()), value)
-        settle(SweepCellResult(key, "ok", value=value, elapsed_s=elapsed, worker=pid))
+        settle(
+            SweepCellResult(
+                key, "ok", value=value, elapsed_s=elapsed, worker=pid,
+                metrics=cell_metrics,
+            )
+        )
 
     if pending:
         n_workers = min(max(1, workers), len(pending))
@@ -259,6 +352,14 @@ def run_sweep(
                     finish(raw)
 
     ordered = [by_key[cell.key] for cell in spec.cells]
+    if obs_state.enabled():
+        # Fold cell metrics into the ambient registry in spec order (and
+        # count orchestration outcomes), so `repro report/trace --metrics`
+        # can export one registry for a whole experiment.
+        for cell_result in ordered:
+            if cell_result.metrics is not None:
+                obs_metrics.merge_payload(cell_result.metrics)
+            obs_metrics.counter_add(f"sweep.cells_{cell_result.status}")
     result = SweepResult(
         spec_name=spec.name,
         workers=workers,

@@ -1,0 +1,98 @@
+"""Golden-file regression tests for the serialized result schemas.
+
+Pins the exact JSON a consumer sees: the versioned ``SimResult
+.to_dict`` payload for one reference workload, and the aggregated
+sweep JSON for a small Table 1 grid (mlp task, seed 0, one epoch).
+Values are rounded to :data:`_PLACES` decimals before comparison, so
+the files survive last-bit float drift while still catching any real
+change to the numbers, the key set, or the schema version.
+
+A mismatch here means one of two things:
+
+* an **accidental** output change -- a bug; fix the code; or
+* an **intentional** schema/metric change -- bump the relevant
+  ``*_SCHEMA`` constant, then regenerate the golden files with::
+
+      PYTHONPATH=src python -m tests.golden.test_golden
+
+  and review the diff like any other contract change.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core.patterns import PatternFamily
+from repro.hw.config import tb_stc
+from repro.sim.engine import simulate
+from repro.sim.metrics import SIM_RESULT_SCHEMA
+from repro.workloads.generator import build_workload
+from repro.workloads.layers import LayerSpec
+
+_GOLDEN_DIR = Path(__file__).parent
+_SIMRESULT_GOLDEN = _GOLDEN_DIR / "simresult_tbstc_64x64.json"
+_TABLE1_GOLDEN = _GOLDEN_DIR / "table1_mlp_seed0.json"
+_PLACES = 6
+
+
+def _rounded(obj):
+    """Round every float in a JSON-shaped object to ``_PLACES`` decimals."""
+    if isinstance(obj, float):
+        return round(obj, _PLACES)
+    if isinstance(obj, dict):
+        return {k: _rounded(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_rounded(v) for v in obj]
+    return obj
+
+
+def _canon(obj) -> str:
+    return json.dumps(_rounded(obj), sort_keys=True, indent=2) + "\n"
+
+
+def _simresult_payload():
+    layer = LayerSpec("golden", 64, 64, 64)
+    workload = build_workload(layer, PatternFamily.TBS, 0.75, seed=0)
+    return simulate(tb_stc(), workload).to_dict()
+
+
+def _table1_payload():
+    from repro.analysis.experiments import run_table1
+
+    return run_table1(tasks=(("mlp", 0.75),), seeds=(0,), epochs=1, workers=1)
+
+
+class TestSimResultGolden:
+    def test_matches_golden_file(self):
+        expected = json.loads(_SIMRESULT_GOLDEN.read_text())
+        actual = json.loads(_canon(_simresult_payload()))
+        assert actual["schema_version"] == SIM_RESULT_SCHEMA
+        assert sorted(actual) == sorted(expected), "SimResult.to_dict key set changed"
+        assert actual == expected
+
+    def test_golden_schema_version_tracks_code(self):
+        """The checked-in file must be regenerated when the schema bumps."""
+        expected = json.loads(_SIMRESULT_GOLDEN.read_text())
+        assert expected["schema_version"] == SIM_RESULT_SCHEMA
+
+
+class TestTable1Golden:
+    def test_matches_golden_file(self):
+        expected = json.loads(_TABLE1_GOLDEN.read_text())
+        actual = json.loads(_canon(_table1_payload()))
+        assert sorted(actual) == sorted(expected), "table1 task set changed"
+        for task in expected:
+            assert sorted(actual[task]) == sorted(expected[task]), (
+                f"table1[{task!r}] family set changed"
+            )
+        assert actual == expected
+
+
+def _regenerate() -> None:  # pragma: no cover - maintenance entry point
+    _SIMRESULT_GOLDEN.write_text(_canon(_simresult_payload()))
+    print(f"wrote {_SIMRESULT_GOLDEN}")
+    _TABLE1_GOLDEN.write_text(_canon(_table1_payload()))
+    print(f"wrote {_TABLE1_GOLDEN}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

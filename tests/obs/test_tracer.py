@@ -1,0 +1,150 @@
+"""Trace-export conformance tests for repro.obs.tracer.
+
+Pins the properties a Chrome ``trace_event`` consumer (Perfetto,
+chrome://tracing) relies on: the export is valid JSON, timestamps never
+go backwards within one track, and every ``B`` has a matching ``E`` --
+including when the traced body raises mid-span.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import state, tracer
+
+
+@pytest.fixture(autouse=True)
+def _fresh_buffer():
+    """Each test gets its own event buffer and a clean off switch."""
+    prev = tracer.swap_buffer()
+    was_enabled = state.enabled()
+    state.disable()
+    try:
+        yield
+    finally:
+        tracer.swap_buffer(prev)
+        if was_enabled:
+            state.enable()
+        else:
+            state.disable()
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_object(self):
+        assert tracer.span("a") is tracer.span("b")
+        with tracer.span("a"):
+            pass
+        assert tracer.events() == []
+
+    def test_instant_is_noop(self):
+        tracer.instant("a", detail=1)
+        assert tracer.events() == []
+
+
+class TestEnabled:
+    def test_span_emits_balanced_pair(self):
+        with state.enabled_scope():
+            with tracer.span("work", track="t0", size=3):
+                pass
+        begin, end = tracer.events()
+        assert (begin["ph"], end["ph"]) == ("B", "E")
+        assert begin["name"] == end["name"] == "work"
+        assert begin["tid"] == end["tid"] == "t0"
+        assert begin["args"] == {"size": 3}
+        assert end["ts"] >= begin["ts"]
+
+    def test_span_closes_on_exception(self):
+        """A cell that raises mid-span still yields a balanced trace."""
+        with state.enabled_scope():
+            with pytest.raises(ValueError):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        raise ValueError("boom")
+        phases = [(e["name"], e["ph"]) for e in tracer.events()]
+        assert phases == [
+            ("outer", "B"), ("inner", "B"), ("inner", "E"), ("outer", "E"),
+        ]
+
+    def test_every_open_has_matching_close(self):
+        with state.enabled_scope():
+            for i in range(5):
+                with tracer.span(f"s{i}"):
+                    tracer.instant(f"i{i}")
+        depth = {}
+        for event in tracer.events():
+            if event["ph"] == "B":
+                depth[event["name"]] = depth.get(event["name"], 0) + 1
+            elif event["ph"] == "E":
+                depth[event["name"]] -= 1
+        assert all(v == 0 for v in depth.values())
+
+    def test_timestamps_monotonic_per_track(self):
+        with state.enabled_scope():
+            for _ in range(10):
+                with tracer.span("a", track="x"):
+                    tracer.instant("tick", track="y")
+        last = {}
+        for event in tracer.events():
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(key, float("-inf"))
+            last[key] = event["ts"]
+
+    def test_instant_shape(self):
+        with state.enabled_scope():
+            tracer.instant("rollback", epoch=3)
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "t"  # thread-scoped instant
+        assert event["args"] == {"epoch": 3}
+
+
+class TestExport:
+    def test_chrome_trace_is_json_with_metadata(self):
+        with state.enabled_scope():
+            with tracer.span("a", track="main"):
+                pass
+            tracer.instant("b", track="aux")
+        trace = json.loads(json.dumps(tracer.to_chrome_trace()))
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        # one thread_name record per (pid, track)
+        assert {e["args"]["name"] for e in meta} == {"main", "aux"}
+        assert all(e["name"] == "thread_name" for e in meta)
+        assert len(events) == len(meta) + 3  # B + E + i
+
+    def test_write_chrome_trace(self, tmp_path):
+        with state.enabled_scope():
+            with tracer.span("a"):
+                pass
+        out = tmp_path / "trace.json"
+        assert tracer.write_chrome_trace(str(out)) == str(out)
+        trace = json.loads(out.read_text())
+        assert [e["ph"] for e in trace["traceEvents"]] == ["M", "B", "E"]
+
+    def test_ingest_keeps_worker_pid(self):
+        """Worker events render as their own process group."""
+        worker_events = [
+            {"name": "cell", "ph": "B", "ts": 1.0, "pid": 99999, "tid": "main"},
+            {"name": "cell", "ph": "E", "ts": 2.0, "pid": 99999, "tid": "main"},
+        ]
+        tracer.ingest(worker_events)
+        trace = tracer.to_chrome_trace()
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {99999}
+
+    def test_swap_buffer_isolates(self):
+        with state.enabled_scope():
+            tracer.instant("outer")
+            prev = tracer.swap_buffer()
+            tracer.instant("inner")
+            inner = list(tracer.events())
+            tracer.swap_buffer(prev)
+        assert [e["name"] for e in inner] == ["inner"]
+        assert [e["name"] for e in tracer.events()] == ["outer"]
+
+    def test_reset_clears_buffer(self):
+        with state.enabled_scope():
+            tracer.instant("a")
+        tracer.reset()
+        assert tracer.events() == []

@@ -121,6 +121,19 @@ class TestSimulateOptions:
         deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
         assert len(deprecations) == 2
 
+    def test_warning_names_the_replacement_fields(self):
+        """The message must tell the reader exactly what to write instead."""
+        wl = _wl()
+        _LEGACY_WARNED_SITES.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            simulate(tb_stc(), wl, weight_bits=8, fault_seed=3)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "fault_seed=..., weight_bits=..." in message  # sorted field names
+        assert "options=SimOptions(fault_seed=..., weight_bits=...)" in message
+
     def test_rejects_mixing_options_and_legacy(self):
         with pytest.raises(TypeError, match="not both"):
             simulate(tb_stc(), _wl(), options=SimOptions(), weight_bits=8)

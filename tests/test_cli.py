@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -249,3 +251,100 @@ class TestFaults:
     def test_rejects_bad_sparsity(self, capsys):
         assert main(["faults", "--sparsity", "1.0"]) == 2
         assert "sparsity" in capsys.readouterr().err
+
+
+class TestJsonOutputs:
+    """The machine-readable paths: --json payloads, --metrics files, trace."""
+
+    def test_simulate_json_round_trips(self, capsys):
+        from repro.sim.metrics import SIM_RESULT_SCHEMA, SimResult
+
+        rc = main([
+            "simulate", "--rows", "64", "--cols", "64", "--b-cols", "16", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SIM_RESULT_SCHEMA
+        assert payload["metrics"] is None  # obs off by default
+        back = SimResult.from_dict(payload)
+        assert back.to_dict() == payload
+
+    def test_sweep_json_is_loadable(self, capsys):
+        assert main(["sweep", "fig17"]) is not None  # warm any caches
+        capsys.readouterr()
+        assert main(["sweep", "fig17", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload  # {layer-kind: {direction: share}}
+        for table in payload.values():
+            assert isinstance(table, dict)
+
+    def test_faults_json_schema(self, capsys):
+        rc = main([
+            "faults", "--trials", "4", "--rows", "16", "--cols", "16",
+            "--formats", "ddc", "--models", "meta_flip", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["cells", "spec"]
+        (cell,) = payload["cells"]
+        assert sorted(cell) == [
+            "counts", "coverage", "format", "model", "sdc_rate", "skipped",
+        ]
+        assert sum(cell["counts"].values()) == payload["spec"]["trials"]
+
+    def test_trace_writes_perfetto_loadable_file(self, tmp_path, capsys):
+        from repro.obs import METRICS_SCHEMA
+        from repro.obs.state import enabled
+
+        out = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main([
+            "trace", "fig17", "--out", str(out), "--metrics", str(metrics_path),
+        ])
+        assert rc == 0
+        assert not enabled()  # the scope must not leak obs globally
+        assert "events ->" in capsys.readouterr().out
+
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events
+        # balanced spans and monotonic per-track timestamps
+        depth, last_ts = {}, {}
+        for event in events:
+            if event["ph"] == "M":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last_ts.get(key, float("-inf"))
+            last_ts[key] = event["ts"]
+            if event["ph"] == "B":
+                depth[event["name"]] = depth.get(event["name"], 0) + 1
+            elif event["ph"] == "E":
+                depth[event["name"]] -= 1
+        assert all(v == 0 for v in depth.values())
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["schema_version"] == METRICS_SCHEMA
+        assert metrics["counters"]["sweep.cells_ok"] >= 1
+        assert "timers" not in metrics
+
+    def test_report_metrics_flag_writes_file(self, tmp_path, capsys):
+        from repro.obs import METRICS_SCHEMA
+        from repro.obs.state import enabled
+
+        path = tmp_path / "metrics.json"
+        assert main(["report", "fig17", "--metrics", str(path)]) == 0
+        assert not enabled()
+        metrics = json.loads(path.read_text())
+        assert metrics["schema_version"] == METRICS_SCHEMA
+        assert metrics["counters"]["runner.cells_ok"] == 1
+
+    def test_sweep_metrics_identical_across_workers(self, tmp_path):
+        """The acceptance contract: --metrics bytes don't depend on N."""
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main(["sweep", "fig17", "--metrics", str(serial)]) == 0
+        assert main([
+            "sweep", "fig17", "--metrics", str(parallel), "--workers", "2",
+        ]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
