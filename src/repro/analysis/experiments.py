@@ -40,7 +40,7 @@ from ..sim.breakdown import codec_overhead_fraction, cycle_breakdown
 from ..sim.engine import simulate
 from ..sim.metrics import SimResult, aggregate, normalized_edp, speedup
 from ..sim.options import SimOptions
-from ..sweep import SweepCell, SweepSpec, configured_workers, run_sweep
+from ..sweep import SweepCell, SweepOptions, SweepSpec, configured_workers, run_sweep
 from ..workloads.generator import build_workload, synthetic_weights
 from ..workloads.layers import LayerSpec, bert_layers, resnet50_layers
 from ..workloads.models import build_model_workload
@@ -110,6 +110,7 @@ def run_experiment(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ):
     """Compute the raw data behind one paper table/figure by name.
 
@@ -126,7 +127,7 @@ def run_experiment(
     ignore them.
     """
     seeds = tuple(seeds)
-    sweep = dict(workers=workers, cache_dir=cache_dir, resume=resume)
+    sweep = dict(workers=workers, cache_dir=cache_dir, resume=resume, options=options)
     if name == "table1":
         return run_table1(seeds=seeds, epochs=epochs, **sweep)
     if name == "table2":
@@ -264,6 +265,7 @@ def run_table1(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Table I -- sparse-training accuracy per pattern family.
 
@@ -300,6 +302,7 @@ def run_table1(
         workers=configured_workers(workers),
         cache_dir=cache_dir,
         resume=resume,
+        options=options,
         strict=True,
     )
     results: Dict[str, Dict[str, float]] = {}
@@ -362,6 +365,7 @@ def run_table2(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Table II -- one-shot pruning accuracy per (criterion, family).
 
@@ -395,6 +399,7 @@ def run_table2(
         workers=configured_workers(workers),
         cache_dir=cache_dir,
         resume=resume,
+        options=options,
         strict=True,
     )
     results: Dict[str, Dict[str, List[float]]] = {}
@@ -468,6 +473,7 @@ def run_fig17_distribution(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 17 -- block-direction distribution of TBS-pruned layers.
 
@@ -488,6 +494,7 @@ def run_fig17_distribution(
         workers=configured_workers(workers),
         cache_dir=cache_dir,
         resume=resume,
+        options=options,
         strict=True,
     )
     out: Dict[str, Dict[str, float]] = {}
@@ -592,6 +599,7 @@ def run_fig13_end2end(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Fig. 13 -- end-to-end iso-accuracy speedup and normalized EDP.
 
@@ -612,6 +620,7 @@ def run_fig13_end2end(
         workers=configured_workers(workers),
         cache_dir=cache_dir,
         resume=resume,
+        options=options,
         strict=True,
     )
     out: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -674,6 +683,7 @@ def run_fig15_block_size(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ) -> Dict[int, Dict[str, float]]:
     """Fig. 15(a) -- block size vs speedup and accuracy."""
     cells = [
@@ -696,6 +706,7 @@ def run_fig15_block_size(
         workers=configured_workers(workers),
         cache_dir=cache_dir,
         resume=resume,
+        options=options,
         strict=True,
     )
     return {m: sweep.value(f"m={m}") for m in block_sizes}
@@ -743,6 +754,7 @@ def run_fig15_bandwidth(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ) -> Dict[float, float]:
     """Fig. 15(c) -- normalized speedup vs off-chip bandwidth.
 
@@ -762,6 +774,7 @@ def run_fig15_bandwidth(
         workers=configured_workers(workers),
         cache_dir=cache_dir,
         resume=resume,
+        options=options,
         strict=True,
     )
     cycles = {bw: sweep.value(f"bw={bw}") for bw in bandwidths}
@@ -790,6 +803,7 @@ def run_fig15_sparsity_sweep(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    options: Optional[SweepOptions] = None,
 ) -> Dict[float, Dict[str, float]]:
     """Fig. 15(d) -- TB-STC vs SGCN across sparsity degrees."""
     cells = [
@@ -805,6 +819,7 @@ def run_fig15_sparsity_sweep(
         workers=configured_workers(workers),
         cache_dir=cache_dir,
         resume=resume,
+        options=options,
         strict=True,
     )
     return {sparsity: sweep.value(f"sparsity={sparsity}") for sparsity in sparsities}

@@ -38,6 +38,16 @@ observability layer for the run and writes its merged
 counter/gauge/histogram registry -- deterministic and byte-identical at
 any ``--workers N`` -- to ``PATH`` as JSON.
 
+``--executor {auto,serial,supervised}``, ``--timeout S`` and
+``--retries N`` (report/sweep/faults/perf/trace) select the sweep
+execution backend (:mod:`repro.sweep.executors`): the supervised
+executor runs one process per in-flight cell, classifies worker death
+as ``crashed`` and deadline overruns as ``timeout``, and retries
+exactly those transient outcomes up to N extra attempts with
+deterministic backoff.  Deterministic failures (a cell that raises) are
+never retried, and retried results are byte-identical to a clean serial
+run.
+
 ``--checks {off,warn,strict}`` (all commands) selects the runtime
 invariant level (:mod:`repro.runtime.checks`); under ``strict``,
 invalid masks or storage-format round-trip failures abort instead of
@@ -96,6 +106,30 @@ def _add_workers_flag(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervision_flags(cmd: argparse.ArgumentParser, retries: bool = True) -> None:
+    """``--executor``/``--timeout`` (plus ``--retries`` unless the command
+    already defines its own) for the sweep supervision layer."""
+    cmd.add_argument(
+        "--executor", default=None, choices=["auto", "serial", "supervised"],
+        help="sweep execution backend: 'serial' runs cells inline, "
+        "'supervised' runs one process per in-flight cell (worker death -> "
+        "crashed, deadline overrun -> timeout); 'auto' (default) picks "
+        "serial at --workers 1 and supervised otherwise",
+    )
+    cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-cell deadline in seconds; an overrunning worker is killed "
+        "and the cell classified 'timeout' (supervised executor only)",
+    )
+    if retries:
+        cmd.add_argument(
+            "--retries", type=int, default=0,
+            help="extra attempts per sweep cell after a transient "
+            "crashed/timeout outcome (deterministic failures are never "
+            "retried; default: 0)",
+        )
+
+
 def _add_metrics_flag(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--metrics", default=None, metavar="PATH",
@@ -127,8 +161,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--retries", type=int, default=1,
-        help="extra attempts per experiment cell before it is declared failed",
+        help="extra attempts per experiment cell before it is declared "
+        "failed; also the per-sweep-cell retry budget for transient "
+        "crashed/timeout outcomes under the supervised executor",
     )
+    _add_supervision_flags(report, retries=False)
     _add_metrics_flag(report)
     _add_checks_flags(report, "runtime invariant level for mask/format checking")
 
@@ -152,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the raw aggregated data as JSON instead of the rendered table",
     )
+    _add_supervision_flags(sweep)
     _add_metrics_flag(sweep)
     _add_checks_flags(sweep, "runtime invariant level for mask/format checking")
 
@@ -222,14 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve cells already cached in --checkpoint-dir instead of recomputing",
     )
     faults.add_argument(
-        "--retries", type=int, default=1,
-        help="ignored (cell isolation is handled by the sweep engine); "
-        "kept so existing invocations keep parsing",
+        "--retries", type=int, default=0,
+        help="extra attempts per campaign cell after a transient "
+        "crashed/timeout outcome under the supervised executor "
+        "(deterministic classification failures are never retried; "
+        "default: 0)",
     )
     faults.add_argument(
         "--json", action="store_true",
         help="emit the campaign spec and per-cell counts as JSON",
     )
+    _add_supervision_flags(faults, retries=False)
     _add_metrics_flag(faults)
 
     perf = sub.add_parser("perf", help="run the benchmark suite / regression gate")
@@ -262,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the suite N times and keep the per-bench best "
         "(use for committed baselines; default: 1)",
     )
+    _add_supervision_flags(perf)
 
     trace = sub.add_parser(
         "trace", help="run one experiment with tracing on and write a Chrome trace"
@@ -280,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="also write the run's merged deterministic metrics to PATH as JSON",
     )
+    _add_supervision_flags(trace)
     _add_checks_flags(trace, "runtime invariant level for mask/format checking")
     return parser
 
@@ -321,6 +364,18 @@ def _maybe_with_metrics(args, body) -> int:
             return _fail(f"cannot write metrics to {path!r}: {exc}")
     print(f"[repro] metrics -> {path}", file=sys.stderr)
     return rc
+
+
+def _sweep_options(args):
+    """Build the :class:`repro.sweep.SweepOptions` a command's supervision
+    flags describe; raises ``ValueError`` on invalid combinations."""
+    from .sweep import SweepOptions
+
+    return SweepOptions(
+        executor=getattr(args, "executor", None),
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", 0) or 0,
+    )
 
 
 def _check_sparsity(value: float) -> Optional[str]:
@@ -398,17 +453,21 @@ def _run_report(args) -> int:
         return _fail(f"--seeds must be >= 1, got {args.seeds}")
     if args.retries < 0:
         return _fail(f"--retries must be >= 0, got {args.retries}")
+    try:
+        options = _sweep_options(args)
+    except ValueError as exc:
+        return _fail(str(exc))
 
     runner = ExperimentRunner(
         cache_dir=args.checkpoint_dir, retries=args.retries, resume=args.resume
     )
 
-    # ``workers`` rides in through a wrapper, NOT through ``runner.run``
-    # kwargs: the runner's cache key hashes its kwargs, and worker count
-    # must never change what a cached experiment is (results are
-    # bit-identical at any N).
+    # ``workers`` and the sweep options ride in through a wrapper, NOT
+    # through ``runner.run`` kwargs: the runner's cache key hashes its
+    # kwargs, and execution knobs must never change what a cached
+    # experiment is (results are bit-identical at any N).
     def run_with_workers(**kwargs):
-        return run_experiment(workers=args.workers, **kwargs)
+        return run_experiment(workers=args.workers, options=options, **kwargs)
 
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     seeds = tuple(range(args.seeds))
@@ -446,10 +505,17 @@ def _run_sweep_cmd(args) -> int:
         return _fail(str(exc))
     if args.resume and not args.cache_dir:
         return _fail("--resume requires --cache-dir")
+    try:
+        options = _sweep_options(args)
+    except ValueError as exc:
+        return _fail(str(exc))
     name = args.experiment
     print(f"[repro] sweep {name}: {workers} worker(s)"
           + (f", cache {args.cache_dir}" + (" (resume)" if args.resume else "")
-             if args.cache_dir else ""),
+             if args.cache_dir else "")
+          + (f", executor {options.executor}" if options.executor else "")
+          + (f", timeout {options.timeout:g}s" if options.timeout else "")
+          + (f", retries {options.retries}" if options.retries else ""),
           file=sys.stderr)
     try:
         value = run_experiment(
@@ -460,6 +526,7 @@ def _run_sweep_cmd(args) -> int:
             workers=workers,
             cache_dir=args.cache_dir,
             resume=args.resume,
+            options=options,
         )
     except SweepError as exc:
         return _fail(str(exc))
@@ -570,12 +637,14 @@ def _run_faults(args) -> int:
             spec_kwargs["models"] = tuple(args.models)
         spec = CampaignSpec(**spec_kwargs)
         workers = configured_workers(args.workers)
+        options = _sweep_options(args)
     except (ValueError, SweepError) as exc:
         return _fail(str(exc))
 
     try:
         result = run_campaign(
-            spec, workers=workers, cache_dir=args.checkpoint_dir, resume=args.resume
+            spec, workers=workers, cache_dir=args.checkpoint_dir,
+            resume=args.resume, options=options,
         )
     except SweepError as exc:
         return _fail(str(exc))
@@ -642,7 +711,8 @@ def _run_trace(args) -> int:
         return _fail(f"--seeds must be >= 1, got {args.seeds}")
     try:
         workers = configured_workers(args.workers)
-    except SweepError as exc:
+        options = _sweep_options(args)
+    except (ValueError, SweepError) as exc:
         return _fail(str(exc))
 
     obs.reset()
@@ -654,6 +724,7 @@ def _run_trace(args) -> int:
                 epochs=args.epochs,
                 scale=args.scale,
                 workers=workers,
+                options=options,
             )
         except SweepError as exc:
             return _fail(str(exc))
@@ -681,10 +752,14 @@ def _run_perf(args) -> int:
         return _fail(f"--tolerance must be >= 0, got {args.tolerance}")
     if args.best_of < 1:
         return _fail(f"--best-of must be >= 1, got {args.best_of}")
+    try:
+        options = _sweep_options(args)
+    except ValueError as exc:
+        return _fail(str(exc))
     profile = "quick" if args.quick else args.profile
     data = bench.run_suite_best(
         profile=profile, seed=args.seed, name=args.name, rounds=args.best_of,
-        workers=args.workers,
+        workers=args.workers, options=options,
     )
     out_path = os.path.join(args.out_dir, f"BENCH_{args.name}.json")
     try:
@@ -725,7 +800,8 @@ def _run_perf(args) -> int:
             data = bench.merge_best(
                 data,
                 bench.run_suite(
-                    profile=profile, seed=args.seed, name=args.name, workers=args.workers
+                    profile=profile, seed=args.seed, name=args.name,
+                    workers=args.workers, options=options,
                 ),
             )
             try:

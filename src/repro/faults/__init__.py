@@ -13,7 +13,11 @@ reshapes the GEMM.  This package stresses that trust boundary:
   traffic and energy reports;
 * :mod:`~repro.faults.campaign`  -- reproducible Monte-Carlo campaigns
   classifying each injection as benign / corrected / detected /
-  uncorrected / silent, per (format, fault model) cell.
+  uncorrected / silent, per (format, fault model) cell;
+* :mod:`~repro.faults.chaos`     -- deterministic chaos drills for the
+  sweep engine's supervision layer (cells that crash, hang, raise or
+  corrupt on their first N attempts), driven programmatically or via
+  ``REPRO_SWEEP_CHAOS``.
 """
 
 from .campaign import (
@@ -28,6 +32,7 @@ from .campaign import (
     run_cell,
     run_trial,
 )
+from .chaos import CHAOS_MODES, ChaosConfig, ChaosError, chaos_from_env
 from .ecc import ECC_MODES, ECCConfig, adjudicate, ecc_overhead_bytes, ecc_words
 from .injectors import (
     FAULT_TARGETS,
@@ -40,6 +45,7 @@ from .injectors import (
 )
 
 __all__ = [
+    "CHAOS_MODES",
     "CLASSES",
     "ECC_MODES",
     "FAULT_MODELS",
@@ -48,9 +54,12 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CellOutcome",
+    "ChaosConfig",
+    "ChaosError",
     "ECCConfig",
     "InjectionRecord",
     "adjudicate",
+    "chaos_from_env",
     "classify_decode",
     "corrupt_file",
     "ecc_overhead_bytes",

@@ -352,6 +352,7 @@ def run_campaign(
     cache_dir=None,
     resume: bool = False,
     progress=None,
+    options=None,
 ) -> CampaignResult:
     """Sweep every (format, model) cell through the sweep engine.
 
@@ -359,7 +360,10 @@ def run_campaign(
     trial seeds from ``(seed, format, model, trial)``, so the table is
     bit-identical at any worker count.  With ``cache_dir``, finished
     cells persist on disk and ``resume=True`` replays them, so a killed
-    campaign restarts where it left off.
+    campaign restarts where it left off.  ``options`` (a
+    :class:`repro.sweep.SweepOptions`) threads the supervised-executor
+    knobs -- per-cell ``timeout``, transient ``retries``, executor
+    choice -- through to :func:`repro.sweep.run_sweep`.
 
     ``runner`` (a :class:`repro.runtime.runner.ExperimentRunner`) is the
     legacy serial cell-isolation path and is mutually exclusive with the
@@ -393,6 +397,7 @@ def run_campaign(
         resume=resume,
         progress=progress,
         strict=True,
+        options=options,
     )
     result = CampaignResult(spec)
     result.sweep_summary = sweep.summary()

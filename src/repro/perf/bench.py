@@ -285,6 +285,7 @@ def run_suite(
     seed: int = 0,
     name: str = "baseline",
     workers: Optional[int] = None,
+    options=None,
 ) -> Dict:
     """Run the full bench suite and return the BENCH json payload.
 
@@ -320,6 +321,7 @@ def run_suite(
             ),
             workers=n_workers,
             strict=True,
+            options=options,
         )
         calibrations: List[float] = []
         rss = peak_rss_kb()
@@ -382,11 +384,17 @@ def run_suite_best(
     name: str = "baseline",
     rounds: int = 1,
     workers: Optional[int] = None,
+    options=None,
 ) -> Dict:
-    """Run the suite ``rounds`` times and keep the per-bench best."""
-    data = run_suite(profile, seed, name, workers=workers)
+    """Run the suite ``rounds`` times and keep the per-bench best.
+
+    ``options`` (a :class:`repro.sweep.SweepOptions`) threads the
+    supervised-executor knobs through the sharded (``workers > 1``)
+    path; the serial path has no sweep to configure.
+    """
+    data = run_suite(profile, seed, name, workers=workers, options=options)
     for _ in range(max(0, rounds - 1)):
-        data = merge_best(data, run_suite(profile, seed, name, workers=workers))
+        data = merge_best(data, run_suite(profile, seed, name, workers=workers, options=options))
     return data
 
 

@@ -28,12 +28,19 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..obs import metrics as obs_metrics
 from ..obs.state import enabled as _obs_enabled
 
 __all__ = ["CellCache", "cache_key"]
+
+#: Tag of the ``(tag, value)`` envelope every entry is pickled inside.
+#: The envelope is what makes a cached ``None`` distinguishable from a
+#: miss (``read_hit`` returns an explicit hit flag); entries written
+#: before the envelope existed unpickle as their bare value and are
+#: still served (legacy hit).
+_ENVELOPE_TAG = "repro.cellcache.envelope/1"
 
 
 def cache_key(name: str, payload: Dict[str, Any]) -> str:
@@ -56,22 +63,41 @@ class CellCache:
     def path(self, name: str, payload: Dict[str, Any]) -> Path:
         return self.directory / f"{cache_key(name, payload)}.pkl"
 
-    def read(self, path: Optional[Path]) -> Any:
-        """Cached value at ``path``, or None on miss/corruption."""
+    def read_hit(self, path: Optional[Path]) -> Tuple[bool, Any]:
+        """``(hit, value)`` for the entry at ``path``.
+
+        The explicit hit flag is the API consumers must use to decide
+        between cache and recompute: a cell whose legitimate result *is*
+        ``None`` reads back as ``(True, None)``, not as a miss --
+        without the flag such cells were recomputed on every resume.
+        Corrupt entries read as ``(False, None)``, never as an
+        exception.
+        """
         if path is None or not path.exists():
             if _obs_enabled():
                 obs_metrics.counter_add("cellcache.misses")
-            return None
+            return False, None
         try:
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
+                obj = pickle.load(fh)
         except Exception:  # corrupt cache entry: recompute, don't crash
             if _obs_enabled():
                 obs_metrics.counter_add("cellcache.corrupt")
-            return None
+            return False, None
         if _obs_enabled():
             obs_metrics.counter_add("cellcache.hits")
-        return value
+        if isinstance(obj, tuple) and len(obj) == 2 and obj[0] == _ENVELOPE_TAG:
+            return True, obj[1]
+        return True, obj  # legacy pre-envelope entry: the pickle IS the value
+
+    def read(self, path: Optional[Path]) -> Any:
+        """Cached value at ``path``, or None on miss/corruption.
+
+        Ambiguous for cells whose legitimate value is ``None`` -- kept
+        for callers that know their values are never ``None``; prefer
+        :meth:`read_hit`.
+        """
+        return self.read_hit(path)[1]
 
     def write(self, path: Optional[Path], value: Any) -> None:
         """Atomically publish ``value`` at ``path`` (write + rename)."""
@@ -80,7 +106,7 @@ class CellCache:
         fd, tmp = tempfile.mkstemp(prefix=".tmp-cell-", dir=self.directory)
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh)
+                pickle.dump((_ENVELOPE_TAG, value), fh)
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):

@@ -81,8 +81,11 @@ class ExperimentRunner:
             return None
         return self._cache.path(name, kwargs)
 
-    def _read_cache(self, path: Optional[Path]) -> Any:
-        return self._cache.read(path) if self._cache is not None else None
+    def _read_cache(self, path: Optional[Path]) -> "tuple[bool, Any]":
+        """``(hit, value)``; a cached ``None`` is a hit, not a miss."""
+        if self._cache is None:
+            return False, None
+        return self._cache.read_hit(path)
 
     def _write_cache(self, path: Optional[Path], value: Any) -> None:
         if self._cache is not None:
@@ -94,8 +97,8 @@ class ExperimentRunner:
         """Execute one cell (or serve it from cache) and record the result."""
         path = self._cache_path(name, kwargs)
         if self.resume:
-            cached = self._read_cache(path)
-            if cached is not None:
+            hit, cached = self._read_cache(path)
+            if hit:
                 if _obs_enabled():
                     obs_metrics.counter_add("runner.cells_cached")
                 result = CellResult(name, "cached", value=cached)

@@ -19,10 +19,18 @@ This package turns those serial ``for`` nests into declarative
   ``--resume`` after a killed sweep replay finished cells from disk;
 * **fault isolation** -- a cell that raises yields a structured
   :class:`~repro.sweep.engine.SweepCellResult` (error type, message,
-  traceback) and never kills the sweep.
+  traceback) and never kills the sweep;
+* **supervision** -- the :mod:`~repro.sweep.executors` layer runs one
+  process per in-flight cell, classifies worker death as ``crashed``
+  and deadline overruns as ``timeout``, retries exactly those transient
+  outcomes under a deterministic :class:`~repro.sweep.executors
+  .RetryPolicy`, and degrades to inline serial execution after repeated
+  consecutive crashes (circuit breaker) -- a SIGKILLed or hung worker
+  never stalls or unwinds the sweep.
 """
 
 from .engine import (
+    CELL_STATUSES,
     SweepCellResult,
     SweepError,
     SweepResult,
@@ -30,12 +38,29 @@ from .engine import (
     default_workers,
     run_sweep,
 )
+from .executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    RetryPolicy,
+    SerialExecutor,
+    SupervisedProcessExecutor,
+    Supervisor,
+)
+from .options import SweepOptions
 from .spec import SweepCell, SweepSpec, derive_seed, fn_ref, resolve_fn
 
 __all__ = [
+    "CELL_STATUSES",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "RetryPolicy",
+    "SerialExecutor",
+    "SupervisedProcessExecutor",
+    "Supervisor",
     "SweepCell",
     "SweepCellResult",
     "SweepError",
+    "SweepOptions",
     "SweepResult",
     "SweepSpec",
     "configured_workers",

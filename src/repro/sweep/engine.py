@@ -1,34 +1,48 @@
-"""Process-parallel sweep execution with caching and fault isolation.
+"""Supervised parallel sweep execution with caching and fault isolation.
 
 :func:`run_sweep` executes every cell of a :class:`~repro.sweep.spec
 .SweepSpec` and returns a :class:`SweepResult` whose cells are always in
-**spec order**, whatever order the pool finished them in -- aggregation
+**spec order**, whatever order execution finished them in -- aggregation
 code downstream can therefore fold results exactly the way the old
 serial loops did, which is what makes ``--workers N`` bit-identical to
 ``--workers 1``.
 
-Execution model:
+Execution model (see :mod:`repro.sweep.executors` for the machinery):
 
-* ``workers <= 1`` runs every cell inline in this process (no pool, no
-  pickling) -- the reference path;
-* ``workers > 1`` ships ``(fn-ref, kwargs)`` payloads to a
-  ``multiprocessing`` pool; each worker re-imports the callable, runs
-  the cell under the submitting process's check level, and returns
-  either the value or a structured error;
-* a cell that raises becomes a failed :class:`SweepCellResult` carrying
-  ``error`` and ``traceback`` strings -- it is logged through the
-  ``repro.sweep`` logger and never unwinds the sweep;
+* the ``serial`` executor runs every cell inline in this process (no
+  pool, no pickling) -- the reference path, picked automatically for
+  ``workers == 1``;
+* the ``supervised`` executor runs one child process per in-flight cell
+  and *watches* it: a worker that dies (OOM, SIGKILL, ``os._exit``)
+  settles its cell as ``crashed``, a worker past the per-cell
+  ``timeout`` is killed and settles as ``timeout`` -- neither hangs or
+  unwinds the sweep;
+* transient outcomes (``crashed``/``timeout``) are retried up to
+  ``retries`` extra attempts with deterministic exponential backoff;
+  deterministic failures (a cell that *raises*) become a structured
+  ``failed`` :class:`SweepCellResult` carrying ``error`` and
+  ``traceback`` strings and are never retried;
+* after ``SweepOptions.breaker_threshold`` consecutive transient
+  failures a circuit breaker degrades the sweep to inline serial
+  execution (logged, and counted as ``sweep.degraded``);
 * with a cache directory, finished cells are pickled content-addressed
   (:mod:`repro.runtime.cellcache`); ``resume=True`` serves hits from
   disk, so restarting a killed sweep only recomputes missing cells.
+
+Chaos drills: a :class:`repro.faults.chaos.ChaosConfig` (programmatic
+via ``SweepOptions.chaos`` or ambient via ``REPRO_SWEEP_CHAOS``) wraps
+execution payloads so cells misbehave on their first attempts; cache
+hashing still sees the clean payloads, and retried values are identical
+to a clean run's -- the determinism-under-retry contract the chaos test
+suite pins.
 """
 
 from __future__ import annotations
 
 import logging
-import multiprocessing
 import os
 import pickle
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -39,7 +53,9 @@ from ..obs import state as obs_state
 from ..obs import tracer as obs_tracer
 from ..runtime.cellcache import CellCache
 from ..runtime.checks import check_level, get_check_level
-from .spec import SweepSpec, resolve_fn
+from .executors import RetryPolicy, Supervisor, make_executor, resolve_executor_name
+from .options import SweepOptions
+from .spec import SweepSpec, derive_seed, resolve_fn
 
 __all__ = [
     "SweepCellResult",
@@ -51,6 +67,12 @@ __all__ = [
 ]
 
 logger = logging.getLogger("repro.sweep")
+
+#: Every status a settled cell can carry.  ``cached`` is decided before
+#: submission; ``ok``/``failed`` come from inside the cell body;
+#: ``crashed``/``timeout`` are synthesized by the supervising executor
+#: for attempts whose worker died or overran the per-cell deadline.
+CELL_STATUSES = ("ok", "cached", "failed", "crashed", "timeout")
 
 
 class SweepError(RuntimeError):
@@ -96,13 +118,13 @@ def configured_workers(explicit: Optional[int] = None) -> int:
 
 @dataclass
 class SweepCellResult:
-    """Outcome of one sweep cell (ok, cached, or failed)."""
+    """Outcome of one sweep cell (ok, cached, failed, crashed, or timeout)."""
 
     key: str
-    status: str  # "ok" | "cached" | "failed"
+    status: str  #: one of :data:`CELL_STATUSES`
     value: Any = None
-    error: Optional[str] = None  #: "ExcType: message" for failed cells
-    traceback: Optional[str] = None  #: full formatted traceback for failed cells
+    error: Optional[str] = None  #: "ExcType: message" / supervisor diagnosis
+    traceback: Optional[str] = None  #: formatted traceback (``failed`` only)
     elapsed_s: float = 0.0
     worker: Optional[int] = None  #: pid of the process that ran the cell
     #: Deterministic observability payload of this cell's execution
@@ -112,6 +134,9 @@ class SweepCellResult:
     #: memo), so the payload is identical whichever worker ran it --
     #: failed cells keep theirs as forensics.  Cached cells have None.
     metrics: Optional[Dict[str, Any]] = None
+    #: Execution attempts this cell took (1 for a clean run, more after
+    #: crash/timeout retries, 0 when served from cache).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -126,6 +151,9 @@ class SweepResult:
     workers: int
     cells: List[SweepCellResult] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: Nonzero supervision counters of the run (``retries``, ``crashes``,
+    #: ``timeouts``, ``degraded``); empty for clean sweeps.
+    supervision: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -151,28 +179,36 @@ class SweepResult:
         ok = sum(1 for c in self.cells if c.status == "ok")
         cached = sum(1 for c in self.cells if c.status == "cached")
         failed = len(self.failures)
-        return (
+        base = (
             f"{len(self.cells)} cells ({ok} computed, {cached} from cache, "
             f"{failed} failed) in {self.elapsed_s:.2f} s with {self.workers} worker(s)"
         )
+        if self.supervision:
+            bits = ", ".join(f"{v} {k}" for k, v in sorted(self.supervision.items()))
+            base += f" [{bits}]"
+        return base
 
     def metrics(self) -> Optional[Dict[str, Any]]:
         """Merged deterministic metrics of the whole sweep, or None.
 
         Folds every cell's payload in **spec order** (the merge is
         order-insensitive anyway; spec order makes the identity obvious)
-        and adds the orchestration counters
-        ``sweep.cells_{ok,cached,failed}`` -- so the dict is
-        byte-identical between ``--workers 1`` and ``--workers N``.
+        and adds the orchestration counters ``sweep.cells_{status}``
+        plus the supervision counters (``sweep.retries`` ...) -- so the
+        dict is byte-identical between ``--workers 1`` and ``--workers
+        N`` (supervision counts depend only on the cells and the chaos
+        configuration, never on worker assignment).
         """
         payloads = [c.metrics for c in self.cells if c.metrics is not None]
         if not payloads and not obs_state.enabled():
             return None
         reg = obs_metrics.MetricsRegistry.merged(payloads)
-        for status in ("ok", "cached", "failed"):
+        for status in CELL_STATUSES:
             n = sum(1 for c in self.cells if c.status == status)
             if n:
                 reg.counter_add(f"sweep.cells_{status}", n)
+        for name, value in self.supervision.items():
+            reg.counter_add(f"sweep.{name}", value)
         return reg.to_dict(deterministic_only=True)
 
 
@@ -222,20 +258,26 @@ def _execute_payload(
     Returns ``(key, status, value_or_error, elapsed_s, pid, obs)`` where
     a failed cell's third slot is ``{"error": ..., "traceback": ...}``
     and ``obs`` (when the submitting process had observability on) is
-    ``{"metrics": ..., "events": [...]}``.  Runs in the worker process
-    under ``workers > 1`` and inline under ``workers <= 1`` -- one code
-    path, so both modes compute the same thing.  Obs enablement travels
-    in the payload (like ``check_level``) rather than relying on fork
-    inheritance, so spawn-based pools behave identically.
+    ``{"metrics": ..., "events": [...]}``.  Runs in a worker process
+    under the supervised executor and inline under the serial one -- one
+    code path, so both modes compute the same thing.  Obs enablement
+    travels in the payload (like ``check_level``) rather than relying on
+    fork inheritance, so spawn-based contexts behave identically.
+
+    Cells carrying an ambient ``seed`` run against a *seeded* global
+    numpy RNG, but the caller's RNG state is saved and restored around
+    the cell body -- inline sweeps must not perturb ambient randomness.
     """
     key = payload["key"]
     start = time.perf_counter()
     obs_export: Optional[Dict[str, Any]] = None
+    rng_state = None
     try:
         fn = resolve_fn(payload["fn"])
         if payload.get("seed") is not None:
             import numpy as np
 
+            rng_state = np.random.get_state()
             np.random.seed(payload["seed"] & 0xFFFFFFFF)
         scope = None
         if payload.get("obs"):
@@ -253,16 +295,25 @@ def _execute_payload(
     except BaseException as exc:  # noqa: BLE001 - cell isolation is the point
         detail = {"error": f"{type(exc).__name__}: {exc}", "traceback": traceback.format_exc()}
         return key, "failed", detail, time.perf_counter() - start, os.getpid(), obs_export
+    finally:
+        if rng_state is not None:
+            import numpy as np
+
+            np.random.set_state(rng_state)
     return key, "ok", value, time.perf_counter() - start, os.getpid(), obs_export
 
 
 def run_sweep(
     spec: SweepSpec,
-    workers: int = 1,
+    workers: Optional[int] = None,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     resume: bool = False,
     progress: Optional[Callable[[SweepCellResult, int, int], None]] = None,
     strict: bool = False,
+    executor: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    options: Optional[SweepOptions] = None,
 ) -> SweepResult:
     """Execute every cell of ``spec`` and return results in spec order.
 
@@ -272,13 +323,49 @@ def run_sweep(
     only the returned :class:`SweepResult` ordering is stable.
     ``strict=True`` raises :class:`SweepError` after the sweep completes
     if any cell failed (the sweep itself still runs to the end).
+
+    ``options`` (a :class:`~repro.sweep.options.SweepOptions`) supplies
+    defaults for every execution knob; explicitly-passed keyword
+    arguments win over it.  ``executor`` is ``"auto"`` (default),
+    ``"serial"``, or ``"supervised"``; ``timeout`` is a per-cell
+    deadline in seconds (supervised only); ``retries`` is the number of
+    extra attempts after a transient ``crashed``/``timeout`` outcome.
     """
+    opts = options if options is not None else SweepOptions()
+    if workers is None:
+        workers = opts.workers if opts.workers is not None else 1
+    if cache_dir is None:
+        cache_dir = opts.cache_dir
+    resume = resume or opts.resume
+    if executor is None:
+        executor = opts.executor
+    if timeout is None:
+        timeout = opts.timeout
+    if retries is None:
+        retries = opts.retries
+
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise SweepError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise SweepError(f"timeout must be > 0, got {timeout}")
+    try:
+        resolve_executor_name(executor, workers)
+    except ValueError as exc:
+        raise SweepError(str(exc)) from exc
+
+    chaos = opts.chaos
+    if chaos is None:
+        from ..faults.chaos import chaos_from_env
+
+        chaos = chaos_from_env()
+
     cache = CellCache(cache_dir) if cache_dir else None
     ambient_level = get_check_level()
     start = time.perf_counter()
     total = len(spec.cells)
+    cells_by_key = {cell.key: cell for cell in spec.cells}
     by_key: Dict[str, SweepCellResult] = {}
     done = 0
 
@@ -286,10 +373,11 @@ def run_sweep(
         nonlocal done
         done += 1
         by_key[result.key] = result
-        if result.status == "failed":
+        if not result.ok:
             logger.error(
-                "sweep %s: cell %s failed after %.2f s: %s",
-                spec.name, result.key, result.elapsed_s, result.error,
+                "sweep %s: cell %s %s after %.2f s (%d attempt(s)): %s",
+                spec.name, result.key, result.status, result.elapsed_s,
+                result.attempts, result.error,
             )
         if progress is not None:
             progress(result, done, total)
@@ -298,9 +386,9 @@ def run_sweep(
     for cell in spec.cells:
         path = cache.path(cell.key, cell.payload()) if cache is not None else None
         if resume and cache is not None:
-            hit = cache.read(path)
-            if hit is not None:
-                settle(SweepCellResult(cell.key, "cached", value=hit))
+            hit, value = cache.read_hit(path)
+            if hit:
+                settle(SweepCellResult(cell.key, "cached", value=value, attempts=0))
                 continue
         pending.append(
             {
@@ -313,7 +401,10 @@ def run_sweep(
             }
         )
 
-    def finish(raw: Tuple[str, str, Any, float, int, Optional[Dict[str, Any]]]) -> None:
+    def finish(
+        raw: Tuple[str, str, Any, float, int, Optional[Dict[str, Any]]],
+        attempts: int = 1,
+    ) -> None:
         key, status, value, elapsed, pid, obs_export = raw
         cell_metrics = None
         if obs_export is not None:
@@ -321,35 +412,59 @@ def run_sweep(
             # Trace events keep their worker pid/clock, so ingesting in
             # completion order is safe (per-track monotonicity holds).
             obs_tracer.ingest(obs_export["events"])
-        if status == "failed":
+        if status != "ok":
             settle(
                 SweepCellResult(
-                    key, "failed", error=value["error"], traceback=value["traceback"],
+                    key, status, error=value["error"], traceback=value["traceback"],
                     elapsed_s=elapsed, worker=pid, metrics=cell_metrics,
+                    attempts=attempts,
                 )
             )
             return
         if cache is not None:
-            cell = next(c for c in spec.cells if c.key == key)
+            cell = cells_by_key[key]
             cache.write(cache.path(key, cell.payload()), value)
         settle(
             SweepCellResult(
                 key, "ok", value=value, elapsed_s=elapsed, worker=pid,
-                metrics=cell_metrics,
+                metrics=cell_metrics, attempts=attempts,
             )
         )
 
+    supervision: Dict[str, int] = {}
     if pending:
         n_workers = min(max(1, workers), len(pending))
-        if n_workers == 1:
-            for payload in pending:
-                finish(_execute_payload(payload))
-        else:
-            # chunksize=1: cells are coarse (a whole training run or
-            # simulation each), so fair dealing beats batching.
-            with multiprocessing.Pool(processes=n_workers) as pool:
-                for raw in pool.imap_unordered(_execute_payload, pending, chunksize=1):
-                    finish(raw)
+        exec_name = resolve_executor_name(
+            executor, workers, force_supervised=chaos is not None
+        )
+        if chaos is not None:
+            from ..faults import chaos as chaos_mod
+
+            ledger_dir = chaos.ledger_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+            logger.warning(
+                "sweep %s: chaos injection active (%s, first_n=%d, ledger %s)",
+                spec.name, "+".join(chaos.modes), chaos.first_n, ledger_dir,
+            )
+            pending = [chaos_mod.wrap_payload(p, chaos, ledger_dir) for p in pending]
+        policy = RetryPolicy(
+            max_attempts=retries + 1,
+            backoff_s=opts.backoff_s,
+            seed=derive_seed(0, "sweep-backoff", spec.name),
+        )
+        exec_obj = make_executor(exec_name, n_workers, timeout_s=timeout)
+        # Chaos drills disable the circuit breaker: induced crashes are
+        # expected there, and degrading to inline execution would run a
+        # crash cell inside the supervisor process itself.
+        supervisor = Supervisor(
+            exec_obj, policy,
+            breaker_threshold=None if chaos is not None else opts.breaker_threshold,
+        )
+        try:
+            for raw, attempts in supervisor.run(pending):
+                finish(raw, attempts)
+        finally:
+            exec_obj.close()
+        supervision = supervisor.stats.as_dict()
 
     ordered = [by_key[cell.key] for cell in spec.cells]
     if obs_state.enabled():
@@ -360,11 +475,14 @@ def run_sweep(
             if cell_result.metrics is not None:
                 obs_metrics.merge_payload(cell_result.metrics)
             obs_metrics.counter_add(f"sweep.cells_{cell_result.status}")
+        for name, value in supervision.items():
+            obs_metrics.counter_add(f"sweep.{name}", value)
     result = SweepResult(
         spec_name=spec.name,
         workers=workers,
         cells=ordered,
         elapsed_s=time.perf_counter() - start,
+        supervision=supervision,
     )
     if strict and not result.ok:
         raise SweepError(

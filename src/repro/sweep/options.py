@@ -1,0 +1,70 @@
+"""Frozen sweep-execution options (the ``SimOptions`` of the sweep layer).
+
+:class:`SweepOptions` bundles every *how-to-run* knob of
+:func:`~repro.sweep.engine.run_sweep` -- worker count, executor choice,
+per-cell timeout, retry budget, cache/resume, chaos injection -- into
+one frozen, hashable value that drivers can thread through unchanged
+(``run_experiment`` -> table/figure driver -> ``run_sweep``) instead of
+growing a kwarg tail at every layer.
+
+None of these knobs is part of a cell's logical identity: the cell
+cache hashes the cell payload only, so the same sweep hits the same
+cache entries whatever its options were (see
+:mod:`repro.runtime.cellcache`).  By the same token, options must never
+change *results* -- only wall-clock, resilience, and telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .executors import EXECUTOR_NAMES
+
+__all__ = ["SweepOptions"]
+
+
+@dataclass(frozen=True)
+class SweepOptions:
+    """How a sweep executes (never *what* it computes).
+
+    ``executor`` is ``"auto"``/``None`` (serial when ``workers == 1``,
+    supervised otherwise), ``"serial"``, or ``"supervised"``.
+    ``timeout`` is a per-cell deadline in seconds, enforced only by the
+    supervised executor.  ``retries`` is the number of *extra* attempts
+    a cell gets after a transient (``crashed``/``timeout``) outcome --
+    deterministic failures are never retried.  ``backoff_s`` seeds the
+    exponential backoff between attempts; ``breaker_threshold`` is the
+    consecutive-transient-failure count that degrades the sweep to
+    inline serial execution.  ``chaos`` optionally carries a
+    :class:`repro.faults.chaos.ChaosConfig` for fault drills (typed
+    loosely to keep this module free of a faults dependency).
+    """
+
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    resume: bool = False
+    executor: Optional[str] = None
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.05
+    breaker_threshold: int = 5
+    chaos: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.executor is not None and self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; choose from {EXECUTOR_NAMES}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )

@@ -1,0 +1,47 @@
+"""Tests for the cell cache's envelope format and hit/miss semantics."""
+
+import pickle
+
+from repro.runtime.cellcache import CellCache, cache_key
+
+
+class TestReadHit:
+    def test_miss_on_absent_entry(self, tmp_path):
+        cache = CellCache(tmp_path)
+        assert cache.read_hit(tmp_path / "nope.pkl") == (False, None)
+        assert cache.read_hit(None) == (False, None)
+
+    def test_cached_none_is_a_hit(self, tmp_path):
+        cache = CellCache(tmp_path)
+        path = cache.path("cell", {"x": 1})
+        cache.write(path, None)
+        assert cache.read_hit(path) == (True, None)
+        # The legacy value-only reader cannot tell this hit from a miss;
+        # that ambiguity is exactly why read_hit exists.
+        assert cache.read(path) is None
+
+    def test_round_trip_through_envelope(self, tmp_path):
+        cache = CellCache(tmp_path)
+        path = cache.path("cell", {"x": 2})
+        cache.write(path, {"answer": 42})
+        assert cache.read_hit(path) == (True, {"answer": 42})
+
+    def test_legacy_raw_pickle_still_reads_as_hit(self, tmp_path):
+        cache = CellCache(tmp_path)
+        path = cache.path("cell", {"x": 3})
+        path.write_bytes(pickle.dumps({"pre": "envelope"}))
+        assert cache.read_hit(path) == (True, {"pre": "envelope"})
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = CellCache(tmp_path)
+        path = cache.path("cell", {"x": 4})
+        path.write_bytes(b"definitely not a pickle")
+        assert cache.read_hit(path) == (False, None)
+
+
+class TestCacheKey:
+    def test_key_depends_on_payload(self):
+        base = cache_key("cell", {"x": 1})
+        assert cache_key("cell", {"x": 1}) == base
+        assert cache_key("cell", {"x": 2}) != base
+        assert cache_key("other", {"x": 1}) != base

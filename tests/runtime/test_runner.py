@@ -101,6 +101,14 @@ class TestCache:
         runner.run("cell", _Flaky(failures=10))
         assert list(tmp_path.glob("*.pkl")) == []
 
+    def test_none_result_is_cached_and_served(self, tmp_path):
+        ExperimentRunner(cache_dir=tmp_path).run("cell", lambda **kw: None)
+
+        fn = _Flaky(failures=10)  # would fail if the hit read as a miss
+        cell = ExperimentRunner(cache_dir=tmp_path, resume=True).run("cell", fn)
+        assert cell.status == "cached" and cell.value is None
+        assert fn.calls == 0
+
     def test_no_tmp_litter(self, tmp_path):
         ExperimentRunner(cache_dir=tmp_path).run("cell", lambda **kw: 1)
         assert [p for p in tmp_path.iterdir() if p.name.startswith(".tmp-")] == []

@@ -199,3 +199,33 @@ class TestCellCache:
         full = run_sweep(_square_spec(), cache_dir=tmp_path, resume=True)
         statuses = [c.status for c in full.cells]
         assert statuses == ["cached", "cached", "ok", "ok"]
+
+    def test_none_valued_cell_is_cached_and_served(self, tmp_path):
+        spec = SweepSpec("nones", (SweepCell(key="n", fn=_cells.none_value),))
+        first = run_sweep(spec, cache_dir=tmp_path)
+        assert first.cells[0].status == "ok" and first.cells[0].value is None
+
+        resumed = run_sweep(spec, cache_dir=tmp_path, resume=True)
+        # A legitimate None result is a cache *hit*, not a miss.
+        assert resumed.cells[0].status == "cached"
+        assert resumed.cells[0].value is None
+
+
+class TestRngHygiene:
+    def test_inline_sweep_does_not_perturb_global_rng(self):
+        import numpy as np
+
+        np.random.seed(123)
+        expected = np.random.random()
+
+        np.random.seed(123)
+        spec = SweepSpec("rng", (
+            SweepCell(key="draw", fn=_cells.np_draw, seed=7),
+            SweepCell(key="draw2", fn=_cells.np_draw, seed=8),
+        ))
+        result = run_sweep(spec, workers=1)
+        assert result.ok
+        # The cells drew from their own seeded streams...
+        assert result.value("draw") != result.value("draw2")
+        # ...and the caller's global stream is exactly where it was.
+        assert np.random.random() == expected
