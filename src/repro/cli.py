@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Seven commands:
+Eight commands:
 
 * ``report`` -- run one (or all) of the paper's experiments and print
   its table(s); experiment names follow the paper (``table1`` ...
@@ -32,6 +32,16 @@ Seven commands:
   (:mod:`repro.obs`) and write a Chrome ``trace_event`` JSON viewable
   in Perfetto (``--out trace.json``); ``--metrics`` additionally dumps
   the merged deterministic metrics.
+* ``serve`` -- run the durable simulation service (:mod:`repro.service`):
+  an HTTP job server with idempotent submission, crash recovery from a
+  SQLite run store, per-client rate limiting with 429 + ``Retry-After``
+  load shedding, and graceful SIGTERM drain that re-queues in-flight
+  jobs as resumable.
+
+``sweep`` and ``faults`` exit **1** when any cell ends ``failed``,
+``crashed`` or ``timeout`` (usage errors exit 2); ``--allow-partial``
+downgrades cell failures to a stderr warning, prints the partial data,
+and exits 0.
 
 ``--metrics PATH`` (report/sweep/faults/trace) enables the
 observability layer for the run and writes its merged
@@ -189,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the raw aggregated data as JSON instead of the rendered table",
     )
+    sweep.add_argument(
+        "--allow-partial", action="store_true",
+        help="exit 0 even when cells fail: warn on stderr, print the "
+        "settled cells' raw values as JSON (default: cell failures exit 1)",
+    )
     _add_supervision_flags(sweep)
     _add_metrics_flag(sweep)
     _add_checks_flags(sweep, "runtime invariant level for mask/format checking")
@@ -270,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the campaign spec and per-cell counts as JSON",
     )
+    faults.add_argument(
+        "--allow-partial", action="store_true",
+        help="exit 0 even when campaign cells fail: warn on stderr and "
+        "print the table over the cells that settled (default: cell "
+        "failures exit 1)",
+    )
     _add_supervision_flags(faults, retries=False)
     _add_metrics_flag(faults)
 
@@ -324,6 +345,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_supervision_flags(trace)
     _add_checks_flags(trace, "runtime invariant level for mask/format checking")
+
+    serve = sub.add_parser(
+        "serve", help="run the durable simulation job service (repro.service)"
+    )
+    serve.add_argument(
+        "--data-dir", required=True,
+        help="service state directory: SQLite run store, shared cell "
+        "cache, and the 'endpoint' file advertising the bound URL",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 picks a free one (default: 8765)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1, metavar="N",
+        help="concurrent jobs (default: 1)",
+    )
+    serve.add_argument(
+        "--sweep-workers", type=int, default=None, metavar="N",
+        help="worker processes per job's sweep (default: $REPRO_SWEEP_WORKERS or 1)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="admission queue bound; beyond it submissions get 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=10.0, metavar="R",
+        help="per-client submissions/second (token bucket; 0 disables; default: 10)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=20.0, metavar="B",
+        help="per-client burst allowance (default: 20)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="S",
+        help="seconds to wait for running jobs to checkpoint on SIGTERM "
+        "(default: 30)",
+    )
+    serve.add_argument(
+        "--allow-fn-prefix", action="append", default=None, metavar="PREFIX",
+        help="additionally accept raw-spec job callables under this import "
+        "prefix (repeatable; default: only 'repro.')",
+    )
+    _add_supervision_flags(serve)
     return parser
 
 
@@ -376,6 +442,13 @@ def _sweep_options(args):
         timeout=getattr(args, "timeout", None),
         retries=getattr(args, "retries", 0) or 0,
     )
+
+
+def _warn_cell_failures(failures) -> None:
+    """One stderr line per failed sweep cell (status + first error line)."""
+    for cell in failures:
+        error = (cell.error or "").splitlines() or [""]
+        print(f"error: cell {cell.key}: {cell.status}: {error[0]}", file=sys.stderr)
 
 
 def _check_sparsity(value: float) -> Optional[str]:
@@ -495,7 +568,7 @@ def _run_sweep_cmd(args) -> int:
     import json
 
     from .analysis.experiments import run_experiment
-    from .sweep import SweepError, configured_workers
+    from .sweep import SweepCellsFailed, SweepError, configured_workers
 
     if args.seeds < 1:
         return _fail(f"--seeds must be >= 1, got {args.seeds}")
@@ -528,6 +601,21 @@ def _run_sweep_cmd(args) -> int:
             resume=args.resume,
             options=options,
         )
+    except SweepCellsFailed as exc:
+        _warn_cell_failures(exc.failures)
+        if not args.allow_partial:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        # The experiment's aggregate needs every cell; with failures
+        # tolerated, the settled cells' raw values are the partial data.
+        partial = exc.result.values() if exc.result is not None else {}
+        print(
+            f"[repro] --allow-partial: {len(exc.failures)} cell(s) failed; "
+            f"printing {len(partial)} settled cell value(s)",
+            file=sys.stderr,
+        )
+        print(json.dumps(partial, sort_keys=True, default=repr))
+        return 0
     except SweepError as exc:
         return _fail(str(exc))
     if args.json:
@@ -618,7 +706,7 @@ def _run_faults(args) -> int:
     from dataclasses import asdict
 
     from .faults import CampaignSpec, ECCConfig, render_campaign, run_campaign
-    from .sweep import SweepError, configured_workers
+    from .sweep import SweepCellsFailed, SweepError, configured_workers
 
     bad = _check_sparsity(args.sparsity)
     if bad:
@@ -645,9 +733,18 @@ def _run_faults(args) -> int:
         result = run_campaign(
             spec, workers=workers, cache_dir=args.checkpoint_dir,
             resume=args.resume, options=options,
+            allow_partial=args.allow_partial,
         )
+    except SweepCellsFailed as exc:
+        _warn_cell_failures(exc.failures)
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except SweepError as exc:
         return _fail(str(exc))
+    if result.failed_cells:
+        # Only reachable with --allow-partial (strict raises otherwise).
+        for key in result.failed_cells:
+            print(f"warning: skipped failed cell {key}", file=sys.stderr)
 
     if args.json:
         print(json.dumps(
@@ -820,6 +917,41 @@ def _run_perf(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    from .service import ServiceConfig, SimService
+
+    try:
+        config = ServiceConfig(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            job_workers=args.job_workers,
+            sweep_workers=args.sweep_workers,
+            queue_size=args.queue_size,
+            rate=args.rate or None,
+            burst=args.burst or None,
+            executor=args.executor,
+            timeout=args.timeout,
+            retries=args.retries,
+            drain_timeout_s=args.drain_timeout,
+            allow_fn_prefixes=("repro.", *(args.allow_fn_prefix or ())),
+        )
+        service = SimService(config)
+    except (ValueError, OSError) as exc:
+        return _fail(str(exc))
+    service.install_signal_handlers()
+    try:
+        host, port = service.start()
+    except OSError as exc:
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+    print(f"[repro] simulation service on http://{host}:{port} "
+          f"(data dir {args.data_dir})", file=sys.stderr)
+    service.serve_forever()  # returns after SIGTERM/SIGINT drain
+    print("[repro] service drained; queued/running jobs are resumable",
+          file=sys.stderr)
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "report":
         return _maybe_with_metrics(args, lambda: _run_report(args))
@@ -835,6 +967,8 @@ def _dispatch(args) -> int:
         return _run_perf(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -161,6 +161,8 @@ class CampaignResult:
     spec: CampaignSpec
     cells: List[CellOutcome] = field(default_factory=list)
     sweep_summary: Optional[str] = None  #: engine stats when run via repro.sweep
+    #: Keys of cells that failed, when run with ``allow_partial=True``.
+    failed_cells: List[str] = field(default_factory=list)
 
     def cell(self, fmt: str, model: str) -> Optional[CellOutcome]:
         for c in self.cells:
@@ -353,8 +355,14 @@ def run_campaign(
     resume: bool = False,
     progress=None,
     options=None,
+    allow_partial: bool = False,
 ) -> CampaignResult:
     """Sweep every (format, model) cell through the sweep engine.
+
+    ``allow_partial=True`` degrades cell failures from an exception to
+    an omission: failed cells are skipped in the aggregated table (and
+    listed in ``result.failed_cells``) instead of raising
+    :class:`repro.sweep.SweepCellsFailed`.
 
     Cells shard across ``workers`` processes (:mod:`repro.sweep`); every
     trial seeds from ``(seed, format, model, trial)``, so the table is
@@ -396,14 +404,19 @@ def run_campaign(
         cache_dir=cache_dir,
         resume=resume,
         progress=progress,
-        strict=True,
+        strict=not allow_partial,
         options=options,
     )
     result = CampaignResult(spec)
     result.sweep_summary = sweep.summary()
+    result.failed_cells = [c.key for c in sweep.failures]
+    settled = sweep.values()
     for fmt_name in spec.formats:
         for model in spec.models:
-            result.cells.append(sweep.value(f"faults-{fmt_name}-{model}"))
+            key = f"faults-{fmt_name}-{model}"
+            if allow_partial and key not in settled:
+                continue
+            result.cells.append(sweep.value(key))
     return result
 
 

@@ -22,13 +22,19 @@ any input (a seed, a shape, the function itself) misses it.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+try:  # POSIX only; on other platforms writes stay atomic but unserialized
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from ..obs import metrics as obs_metrics
 from ..obs.state import enabled as _obs_enabled
@@ -99,16 +105,52 @@ class CellCache:
         """
         return self.read_hit(path)[1]
 
+    @contextlib.contextmanager
+    def write_lock(self, path: Path) -> Iterator[None]:
+        """Inter-process exclusive lock for publishing ``path``.
+
+        An ``fcntl.flock`` on a ``<entry>.lock`` sibling: two processes
+        (the service runs concurrent jobs over one shared cache)
+        publishing the same content-addressed entry serialize their
+        write+rename sections instead of racing two temp files onto one
+        path.  Readers never take the lock -- ``os.replace`` keeps every
+        read either the old bytes or the new, never a tear.  On
+        platforms without ``fcntl`` the lock degrades to a no-op (the
+        rename alone is still atomic).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_path = Path(str(path) + ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            # Unlock before close is implicit in close; the lock file is
+            # left behind deliberately -- unlinking it would open a race
+            # where a third process locks a file the second just deleted.
+            os.close(fd)
+
     def write(self, path: Optional[Path], value: Any) -> None:
-        """Atomically publish ``value`` at ``path`` (write + rename)."""
+        """Atomically publish ``value`` at ``path`` (write + rename).
+
+        The temp-file + ``os.replace`` pair makes the publish atomic for
+        *readers*; the :meth:`write_lock` around it serializes
+        concurrent *writers* of the same key across processes.
+        """
         if path is None:
             return
-        fd, tmp = tempfile.mkstemp(prefix=".tmp-cell-", dir=self.directory)
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump((_ENVELOPE_TAG, value), fh)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        # Cell keys may contain "/" (e.g. "cnn@0.75/seed0/Dense"), which
+        # nests entries in subdirectories; publish must create them.
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        with self.write_lock(path):
+            fd, tmp = tempfile.mkstemp(prefix=".tmp-cell-", dir=self.directory)
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump((_ENVELOPE_TAG, value), fh)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise

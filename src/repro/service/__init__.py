@@ -1,0 +1,61 @@
+"""repro.service -- durable simulation-as-a-service (stdlib only).
+
+The gateway between the sweep engine and long-running, unattended
+operation: a small HTTP job service whose state lives in a crash-safe
+SQLite store, so the server process is disposable -- ``kill -9`` it,
+restart it, and every job it was running resumes from its persisted
+per-cell progress (the content-addressed cell cache makes the replayed
+portion near-free).
+
+Layers, bottom up:
+
+* :mod:`repro.service.store` -- the :class:`RunStore`: a SQLite-WAL job
+  database with an explicit job state machine (queued -> running ->
+  done/failed/cancelled, plus running -> queued for crash recovery and
+  graceful drain), per-cell progress rows, a schema version with a
+  migration hook, and idempotent submission (the run id is a content
+  hash of the canonicalized job payload, so a repeat POST returns the
+  original run id instead of recomputing);
+* :mod:`repro.service.queue` -- the :class:`AdmissionQueue`: a bounded
+  two-lane queue with per-client token-bucket rate limiting.  When the
+  service is saturated it *sheds load* (HTTP 429 + ``Retry-After``)
+  instead of growing an unbounded backlog; recovered/resubmitted jobs
+  ride a priority lane because their cells are already cached;
+* :mod:`repro.service.server` -- :class:`SimService`: a
+  ``ThreadingHTTPServer`` exposing submit/status/result/cancel/healthz/
+  metrics, worker threads that execute jobs through
+  ``run_experiment``/``run_sweep`` with progress and cancellation
+  threaded via :class:`repro.sweep.SweepOptions`, startup recovery of
+  jobs found ``running`` in the store, and a SIGTERM drain that
+  re-queues in-flight jobs as resumable;
+* :mod:`repro.service.client` -- :class:`ServiceClient`: a small
+  ``urllib``-based client used by the tests, the CI smoke job, and
+  scripts.
+
+The crash-recovery invariant (pinned by ``tests/service``): restart +
+resubmit is byte-identical to an uninterrupted run -- results are
+canonical JSON over deterministic experiment values, and neither the
+kill, the recovery, nor the cache replay can change a byte of them.
+"""
+
+from .client import RateLimitedError, ServiceClient, ServiceError
+from .queue import AdmissionQueue, QueueFull, RateLimited, TokenBucket
+from .server import ServiceConfig, SimService
+from .store import JOB_STATES, RunStore, StoreError, canonical_job, job_run_id
+
+__all__ = [
+    "AdmissionQueue",
+    "JOB_STATES",
+    "QueueFull",
+    "RateLimited",
+    "RateLimitedError",
+    "RunStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimService",
+    "StoreError",
+    "TokenBucket",
+    "canonical_job",
+    "job_run_id",
+]

@@ -1,0 +1,134 @@
+"""Minimal ``urllib``-based client for the simulation service.
+
+Used by the tests, the CI smoke drill, and scripts; deliberately thin --
+every method maps 1:1 onto one endpoint of
+:mod:`repro.service.server`.  Errors surface as :class:`ServiceError`
+(HTTP status + decoded body); a 429 raises the
+:class:`RateLimitedError` subclass carrying the parsed ``Retry-After``
+so callers can implement honest backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+__all__ = ["RateLimitedError", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, body: Any):
+        detail = body.get("error") if isinstance(body, dict) else body
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.body = body
+
+
+class RateLimitedError(ServiceError):
+    """HTTP 429 -- retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, status: int, body: Any, retry_after_s: float):
+        super().__init__(status, body)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClient:
+    """Talk to one service endpoint, e.g. ``http://127.0.0.1:8765``."""
+
+    def __init__(self, base_url: str, client_id: Optional[str] = None, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> tuple:
+        """Returns ``(status, raw_bytes, headers)``; raises on non-2xx."""
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method
+        )
+        request.add_header("Content-Type", "application/json")
+        if self.client_id:
+            request.add_header("X-Client", self.client_id)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read(), dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                parsed = raw.decode("utf-8", "replace")
+            if exc.code == 429:
+                retry_after = _retry_after_s(parsed, exc.headers)
+                raise RateLimitedError(exc.code, parsed, retry_after) from None
+            raise ServiceError(exc.code, parsed) from None
+
+    def _json(self, method: str, path: str, body: Optional[Dict[str, Any]] = None):
+        status, raw, _ = self._request(method, path, body)
+        return json.loads(raw.decode("utf-8"))
+
+    # -- endpoints ----------------------------------------------------------
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST /jobs -- returns ``{"run_id", "state", "deduped"}``."""
+        return self._json("POST", "/jobs", payload)
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._json("GET", "/jobs")
+
+    def job(self, run_id: str) -> Dict[str, Any]:
+        return self._json("GET", f"/jobs/{run_id}")
+
+    def result_text(self, run_id: str) -> str:
+        """GET /jobs/<id>/result as raw text (the byte-compare surface)."""
+        _, raw, _ = self._request("GET", f"/jobs/{run_id}/result")
+        return raw.decode("utf-8")
+
+    def result(self, run_id: str) -> Any:
+        return json.loads(self.result_text(run_id))
+
+    def cancel(self, run_id: str) -> Dict[str, Any]:
+        return self._json("POST", f"/jobs/{run_id}/cancel")
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._json("GET", "/metrics")
+
+    def wait(
+        self, run_id: str, timeout: float = 60.0, poll_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until ``run_id`` reaches a terminal state; returns the job.
+
+        Raises ``TimeoutError`` if the job is still queued/running when
+        the deadline passes.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(run_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {run_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+
+def _retry_after_s(body: Any, headers) -> float:
+    if isinstance(body, dict) and isinstance(body.get("retry_after_s"), (int, float)):
+        return float(body["retry_after_s"])
+    try:
+        return float(headers.get("Retry-After", "1"))
+    except (TypeError, ValueError):  # pragma: no cover - malformed header
+        return 1.0

@@ -1,0 +1,388 @@
+"""Crash-safe persistent run store (SQLite WAL) for the job service.
+
+One database file holds every job the service has ever accepted plus
+per-cell progress rows.  Design points:
+
+* **WAL journaling** -- readers never block the writer, and a ``kill
+  -9`` at any instant leaves a database that opens clean (SQLite
+  replays or rolls back the write-ahead log on the next connect).  This
+  is the property the recovery drill in ``tests/service`` pins.
+* **Explicit state machine** -- a job is exactly one of
+  :data:`JOB_STATES`; :meth:`RunStore.transition` enforces the edge set
+  :data:`_TRANSITIONS` atomically (compare-and-swap on the current
+  state inside one statement), so a buggy caller gets a
+  :class:`StoreError`, never a silently inconsistent row.  The two
+  "backward" edges -- ``running -> queued`` -- are how crash recovery
+  and graceful drain mark a job *resumable*.
+* **Idempotent submission** -- the run id is a content hash of the
+  canonicalized job payload (:func:`job_run_id`), so submitting the
+  same job twice returns the same id and the stored outcome instead of
+  recomputing; execution knobs (priority, client id) stay out of the
+  hash, exactly like the cell cache keeps worker counts out of cell
+  keys.
+* **Schema version + migration hook** -- the ``meta`` table records
+  :data:`SCHEMA_VERSION`; on open, :data:`_MIGRATIONS` steps older
+  databases forward one version at a time.  Opening a *newer* database
+  raises (downgrades are not supported).
+
+The store is shared by HTTP handler threads and job worker threads; a
+single connection guarded by an :class:`threading.RLock` keeps SQLite's
+threading rules trivially satisfied (the service is I/O-light -- jobs
+take seconds, store writes take microseconds).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "JOB_STATES",
+    "SCHEMA_VERSION",
+    "RunStore",
+    "StoreError",
+    "canonical_job",
+    "job_run_id",
+]
+
+SCHEMA_VERSION = 1
+
+#: Every state a job row can be in.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Legal state-machine edges.  ``running -> queued`` is the resumable
+#: edge used by crash recovery and graceful drain.
+_TRANSITIONS = frozenset(
+    {
+        ("queued", "running"),
+        ("queued", "cancelled"),
+        ("running", "done"),
+        ("running", "failed"),
+        ("running", "cancelled"),
+        ("running", "queued"),
+    }
+)
+
+
+class StoreError(RuntimeError):
+    """Illegal transition, unknown run id, or incompatible schema."""
+
+
+def canonical_job(payload: Dict[str, Any]) -> str:
+    """Canonical JSON of one job payload (sorted keys, no whitespace).
+
+    This string *is* the job's identity: everything that changes the
+    result (experiment name, seeds, epochs, scale, spec cells) must be
+    inside it, and nothing else (priority flags, client ids, submission
+    time) may be.  The server normalizes payloads before calling this,
+    so two submissions that mean the same job canonicalize identically.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def job_run_id(payload: Dict[str, Any]) -> str:
+    """Content-addressed run id: ``job-<sha256(canonical_job)[:16]>``."""
+    digest = hashlib.sha256(canonical_job(payload).encode()).hexdigest()[:16]
+    return f"job-{digest}"
+
+
+#: ``{from_version: migrate(conn)}`` -- each hook steps the schema one
+#: version forward.  Empty at version 1; the scaffolding exists so a
+#: version-2 column addition is a three-line change, not a redesign.
+_MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {}
+
+
+class RunStore:
+    """SQLite-backed durable job + per-cell progress store."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, timeout=30.0
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._init_schema()
+
+    # -- schema -------------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+                version = SCHEMA_VERSION
+            else:
+                version = int(row["value"])
+            if version > SCHEMA_VERSION:
+                raise StoreError(
+                    f"run store {self.path} has schema v{version}; this build "
+                    f"understands up to v{SCHEMA_VERSION} (downgrade unsupported)"
+                )
+            while version < SCHEMA_VERSION:
+                migrate = _MIGRATIONS.get(version)
+                if migrate is None:
+                    raise StoreError(
+                        f"no migration registered from schema v{version}"
+                    )
+                migrate(self._conn)
+                version += 1
+                self._conn.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(version),),
+                )
+            self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS jobs (
+                    run_id       TEXT PRIMARY KEY,
+                    state        TEXT NOT NULL,
+                    payload      TEXT NOT NULL,
+                    client       TEXT,
+                    priority     INTEGER NOT NULL DEFAULT 0,
+                    attempts     INTEGER NOT NULL DEFAULT 0,
+                    submitted_at REAL NOT NULL,
+                    started_at   REAL,
+                    finished_at  REAL,
+                    result       TEXT,
+                    error        TEXT
+                )
+                """
+            )
+            self._conn.execute(
+                """
+                CREATE TABLE IF NOT EXISTS cells (
+                    run_id     TEXT NOT NULL,
+                    key        TEXT NOT NULL,
+                    status     TEXT NOT NULL,
+                    elapsed_s  REAL NOT NULL DEFAULT 0,
+                    attempts   INTEGER NOT NULL DEFAULT 0,
+                    updated_at REAL NOT NULL,
+                    PRIMARY KEY (run_id, key)
+                )
+                """
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs (state)"
+            )
+
+    @property
+    def schema_version(self) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        return int(row["value"])
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        payload: Dict[str, Any],
+        client: Optional[str] = None,
+        priority: bool = False,
+    ) -> Tuple[str, bool, str]:
+        """Record one job; returns ``(run_id, is_new, state)``.
+
+        Idempotent: an existing job in any *forward* state (queued,
+        running, done) is returned untouched (``is_new=False``) -- the
+        dedupe path of the service.  A job that previously ended
+        ``failed`` or ``cancelled`` is re-queued by resubmission (fresh
+        attempt over the same cached cells), reported as new work.
+        """
+        run_id = job_run_id(payload)
+        now = time.time()
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT state FROM jobs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO jobs (run_id, state, payload, client, priority,"
+                    " submitted_at) VALUES (?, 'queued', ?, ?, ?, ?)",
+                    (run_id, canonical_job(payload), client, int(priority), now),
+                )
+                return run_id, True, "queued"
+            state = row["state"]
+            if state in ("failed", "cancelled"):
+                self._conn.execute(
+                    "UPDATE jobs SET state = 'queued', error = NULL,"
+                    " finished_at = NULL, priority = ?, submitted_at = ?"
+                    " WHERE run_id = ?",
+                    (int(priority), now, run_id),
+                )
+                return run_id, True, "queued"
+            return run_id, False, state
+
+    # -- state machine ------------------------------------------------------
+
+    def transition(self, run_id: str, new_state: str, **fields: Any) -> str:
+        """Atomically move ``run_id`` to ``new_state``; returns the old state.
+
+        ``fields`` may set ``result``, ``error``, ``priority``.  Raises
+        :class:`StoreError` for unknown jobs, unknown states, and edges
+        outside :data:`_TRANSITIONS`.
+        """
+        if new_state not in JOB_STATES:
+            raise StoreError(f"unknown job state {new_state!r}")
+        unknown = set(fields) - {"result", "error", "priority"}
+        if unknown:
+            raise StoreError(f"transition cannot set fields {sorted(unknown)}")
+        now = time.time()
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT state, attempts FROM jobs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            if row is None:
+                raise StoreError(f"unknown run id {run_id!r}")
+            old = row["state"]
+            if (old, new_state) not in _TRANSITIONS:
+                raise StoreError(
+                    f"illegal transition {old!r} -> {new_state!r} for {run_id}"
+                )
+            sets = ["state = ?"]
+            args: List[Any] = [new_state]
+            if new_state == "running":
+                sets += ["started_at = ?", "attempts = ?"]
+                args += [now, row["attempts"] + 1]
+            if new_state in ("done", "failed", "cancelled"):
+                sets.append("finished_at = ?")
+                args.append(now)
+            for name in ("result", "error", "priority"):
+                if name in fields:
+                    sets.append(f"{name} = ?")
+                    value = fields[name]
+                    args.append(int(value) if name == "priority" else value)
+            args.append(run_id)
+            self._conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE run_id = ?", args
+            )
+        return old
+
+    # -- per-cell progress --------------------------------------------------
+
+    def record_cell(
+        self,
+        run_id: str,
+        key: str,
+        status: str,
+        elapsed_s: float = 0.0,
+        attempts: int = 1,
+    ) -> None:
+        """Upsert one cell progress row (called from sweep progress hooks)."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO cells (run_id, key, status, elapsed_s, attempts,"
+                " updated_at) VALUES (?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT (run_id, key) DO UPDATE SET status = excluded.status,"
+                " elapsed_s = excluded.elapsed_s, attempts = excluded.attempts,"
+                " updated_at = excluded.updated_at",
+                (run_id, key, status, float(elapsed_s), int(attempts), time.time()),
+            )
+
+    def cells(self, run_id: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, status, elapsed_s, attempts, updated_at FROM cells"
+                " WHERE run_id = ? ORDER BY key",
+                (run_id,),
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def clear_cells(self, run_id: str) -> None:
+        """Drop progress rows before a fresh attempt repopulates them."""
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM cells WHERE run_id = ?", (run_id,))
+
+    # -- reading ------------------------------------------------------------
+
+    def job(self, run_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        job = dict(row)
+        job["payload"] = json.loads(job["payload"])
+        job["priority"] = bool(job["priority"])
+        return job
+
+    def jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Job summaries (no payload/result bodies), oldest first."""
+        query = (
+            "SELECT run_id, state, client, priority, attempts, submitted_at,"
+            " started_at, finished_at, error FROM jobs"
+        )
+        args: Tuple[Any, ...] = ()
+        if state is not None:
+            query += " WHERE state = ?"
+            args = (state,)
+        query += " ORDER BY submitted_at"
+        with self._lock:
+            rows = self._conn.execute(query, args).fetchall()
+        out = []
+        for row in rows:
+            job = dict(row)
+            job["priority"] = bool(job["priority"])
+            out.append(job)
+        return out
+
+    def result(self, run_id: str) -> Optional[str]:
+        """The stored result JSON string (``None`` unless the job is done)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM jobs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise StoreError(f"unknown run id {run_id!r}")
+        return row["result"]
+
+    def counts(self) -> Dict[str, int]:
+        """``{state: job count}`` over every state (zeros included)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    # -- recovery -----------------------------------------------------------
+
+    def reclaim_running(self) -> List[str]:
+        """Move every ``running`` job back to ``queued`` (crash recovery).
+
+        Called once at server startup: a job still marked ``running``
+        means the previous process died mid-execution.  Its finished
+        cells are in the cell cache, so the re-run is near-free -- the
+        reclaimed jobs are flagged ``priority`` so the admission queue
+        schedules them ahead of fresh work.
+        """
+        reclaimed = []
+        with self._lock:
+            for job in self.jobs(state="running"):
+                self.transition(job["run_id"], "queued", priority=True)
+                reclaimed.append(job["run_id"])
+        return reclaimed
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

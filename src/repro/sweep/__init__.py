@@ -31,7 +31,9 @@ This package turns those serial ``for`` nests into declarative
 
 from .engine import (
     CELL_STATUSES,
+    SweepCancelled,
     SweepCellResult,
+    SweepCellsFailed,
     SweepError,
     SweepResult,
     configured_workers,
@@ -57,8 +59,10 @@ __all__ = [
     "SerialExecutor",
     "SupervisedProcessExecutor",
     "Supervisor",
+    "SweepCancelled",
     "SweepCell",
     "SweepCellResult",
+    "SweepCellsFailed",
     "SweepError",
     "SweepOptions",
     "SweepResult",

@@ -58,7 +58,9 @@ from .options import SweepOptions
 from .spec import SweepSpec, derive_seed, resolve_fn
 
 __all__ = [
+    "SweepCancelled",
     "SweepCellResult",
+    "SweepCellsFailed",
     "SweepError",
     "SweepResult",
     "configured_workers",
@@ -77,6 +79,44 @@ CELL_STATUSES = ("ok", "cached", "failed", "crashed", "timeout")
 
 class SweepError(RuntimeError):
     """Engine-level failure (misuse or, under ``strict=True``, failed cells)."""
+
+
+class SweepCellsFailed(SweepError):
+    """One or more cells ended in a terminal non-ok status.
+
+    Distinct from plain :class:`SweepError` (misuse: bad worker counts,
+    unknown executors) so callers -- the CLI in particular -- can map
+    *cell outcomes* to their own exit code instead of conflating them
+    with usage errors.  ``failures`` carries the failed
+    :class:`SweepCellResult` rows; ``result`` the full
+    :class:`SweepResult` when the sweep ran to completion (``None`` when
+    raised from :meth:`SweepResult.value` during aggregation).
+    """
+
+    def __init__(self, message: str, failures=(), result=None):
+        super().__init__(message)
+        self.failures = list(failures)
+        self.result = result
+
+
+class SweepCancelled(SweepError):
+    """The sweep was interrupted by its cancellation token.
+
+    Already-settled cells were cached (when a cache is configured), so a
+    later run with ``resume=True`` continues where this one stopped --
+    the exception is a checkpoint marker, not a loss of work.  ``done``
+    and ``total`` count settled vs. requested cells; ``pending_keys``
+    names the cells that never ran.
+    """
+
+    def __init__(self, spec_name: str, done: int, total: int, pending_keys=()):
+        super().__init__(
+            f"sweep {spec_name!r} cancelled after {done}/{total} cell(s)"
+        )
+        self.spec_name = spec_name
+        self.done = done
+        self.total = total
+        self.pending_keys = list(pending_keys)
 
 
 def default_workers() -> int:
@@ -167,7 +207,9 @@ class SweepResult:
         for cell in self.cells:
             if cell.key == key:
                 if not cell.ok:
-                    raise SweepError(f"cell {key!r} failed: {cell.error}")
+                    raise SweepCellsFailed(
+                        f"cell {key!r} failed: {cell.error}", failures=[cell]
+                    )
                 return cell.value
         raise KeyError(f"no cell {key!r} in sweep {self.spec_name!r}")
 
@@ -314,6 +356,7 @@ def run_sweep(
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     options: Optional[SweepOptions] = None,
+    cancel: Optional[Any] = None,
 ) -> SweepResult:
     """Execute every cell of ``spec`` and return results in spec order.
 
@@ -321,8 +364,14 @@ def run_sweep(
     cell result plus ``(done, total)`` counts -- note this happens in
     *completion* order, which under parallelism is nondeterministic;
     only the returned :class:`SweepResult` ordering is stable.
-    ``strict=True`` raises :class:`SweepError` after the sweep completes
-    if any cell failed (the sweep itself still runs to the end).
+    ``strict=True`` raises :class:`SweepCellsFailed` after the sweep
+    completes if any cell failed (the sweep itself still runs to the
+    end).
+
+    ``cancel`` is an event-like object (``is_set()``): once set, no
+    further cells are submitted, in-flight cells drain into the cache,
+    and the call raises :class:`SweepCancelled`.  A later run with the
+    same cache and ``resume=True`` continues from the settled cells.
 
     ``options`` (a :class:`~repro.sweep.options.SweepOptions`) supplies
     defaults for every execution knob; explicitly-passed keyword
@@ -343,6 +392,10 @@ def run_sweep(
         timeout = opts.timeout
     if retries is None:
         retries = opts.retries
+    if progress is None:
+        progress = opts.progress
+    if cancel is None:
+        cancel = opts.cancel
 
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
@@ -460,11 +513,21 @@ def run_sweep(
             breaker_threshold=None if chaos is not None else opts.breaker_threshold,
         )
         try:
-            for raw, attempts in supervisor.run(pending):
+            for raw, attempts in supervisor.run(pending, cancel=cancel):
                 finish(raw, attempts)
         finally:
             exec_obj.close()
         supervision = supervisor.stats.as_dict()
+
+    pending_keys = [p["key"] for p in pending if p["key"] not in by_key]
+    if pending_keys:
+        # Only a set cancellation token leaves cells unsettled; the
+        # settled ones are already cached, so this is a resumable stop.
+        logger.warning(
+            "sweep %s: cancelled with %d/%d cell(s) settled",
+            spec.name, done, total,
+        )
+        raise SweepCancelled(spec.name, done, total, pending_keys)
 
     ordered = [by_key[cell.key] for cell in spec.cells]
     if obs_state.enabled():
@@ -485,8 +548,10 @@ def run_sweep(
         supervision=supervision,
     )
     if strict and not result.ok:
-        raise SweepError(
+        raise SweepCellsFailed(
             f"sweep {spec.name!r}: {len(result.failures)} cell(s) failed: "
-            + ", ".join(c.key for c in result.failures)
+            + ", ".join(c.key for c in result.failures),
+            failures=result.failures,
+            result=result,
         )
     return result

@@ -465,13 +465,23 @@ class Supervisor:
             self._consecutive_transient,
         )
 
-    def run(self, payloads: List[Dict[str, Any]]) -> Iterator[Tuple[RawResult, int]]:
+    def run(
+        self, payloads: List[Dict[str, Any]], cancel: Optional[Any] = None
+    ) -> Iterator[Tuple[RawResult, int]]:
+        """Yield final attempts; ``cancel`` (event-like, ``is_set()``)
+        stops new submissions and drops queued/delayed work -- in-flight
+        attempts still drain, so nothing half-run is abandoned."""
         self._payloads_by_key = {p["key"]: p for p in payloads}
         ready = deque((payload, 1) for payload in payloads)
         delayed: List[Tuple[float, Dict[str, Any], int]] = []  # (due, payload, attempt)
         attempts_of: Dict[str, int] = {}
 
         while ready or delayed or self.executor.inflight():
+            if cancel is not None and cancel.is_set():
+                ready.clear()
+                delayed.clear()
+                if not self.executor.inflight():
+                    break
             now = time.monotonic()
             if delayed:
                 due = [e for e in delayed if e[0] <= now]

@@ -39,6 +39,16 @@ class SweepOptions:
     inline serial execution.  ``chaos`` optionally carries a
     :class:`repro.faults.chaos.ChaosConfig` for fault drills (typed
     loosely to keep this module free of a faults dependency).
+
+    ``progress`` and ``cancel`` let callers that sit far above
+    :func:`~repro.sweep.engine.run_sweep` (the simulation service, which
+    only sees ``run_experiment``) observe and interrupt a sweep without
+    threading new parameters through every driver: ``progress`` is
+    called like ``run_sweep``'s own progress callback as each cell
+    settles, and ``cancel`` is an event-like object (anything with an
+    ``is_set()`` method) -- once set, no further cells are submitted,
+    in-flight cells drain into the cache, and ``run_sweep`` raises
+    :class:`~repro.sweep.engine.SweepCancelled`.
     """
 
     workers: Optional[int] = None
@@ -50,6 +60,8 @@ class SweepOptions:
     backoff_s: float = 0.05
     breaker_threshold: int = 5
     chaos: Optional[Any] = None
+    progress: Optional[Any] = None
+    cancel: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -68,3 +80,9 @@ class SweepOptions:
             raise ValueError(
                 f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
             )
+        if self.progress is not None and not callable(self.progress):
+            raise ValueError("progress must be callable (or None)")
+        if self.cancel is not None and not callable(
+            getattr(self.cancel, "is_set", None)
+        ):
+            raise ValueError("cancel must expose an is_set() method (or be None)")

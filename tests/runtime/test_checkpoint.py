@@ -113,6 +113,61 @@ class TestLatest:
         assert len(store.list()) == 1
 
 
+class TestTruncationFallback:
+    """A checkpoint byte-truncated mid-write (crash between write and
+    rename on a non-atomic filesystem) must read as unusable at *any*
+    truncation point, and ``latest()`` must deterministically serve the
+    previous good snapshot, bit-exactly."""
+
+    def test_every_truncation_point_falls_back(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(_state(epoch=1, value=3.5))
+        newest = store.save(_state(epoch=2, value=9.0))
+        data = newest.read_bytes()
+        # representative prefixes: empty file, torn zip magic, mid-member,
+        # half file, missing central directory, one byte short
+        cuts = sorted({0, 1, 3, 10, len(data) // 4, len(data) // 2,
+                       len(data) - 30, len(data) - 1})
+        for cut in cuts:
+            newest.write_bytes(data[:cut])
+            with pytest.raises(CheckpointError):
+                store.load(newest)
+            latest = store.latest()
+            assert latest is not None and latest.epoch == 1, (
+                f"truncation at {cut}/{len(data)} bytes did not fall back"
+            )
+
+    def test_fallback_is_bit_exact_and_repeatable(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        good = store.save(_state(epoch=1, value=3.5))
+        baseline = store.load(good)
+        newest = store.save(_state(epoch=2, value=9.0))
+        newest.write_bytes(newest.read_bytes()[: newest.stat().st_size // 2])
+        for _ in range(3):  # repeat reads must agree byte-for-byte
+            latest = store.latest()
+            assert latest.epoch == baseline.epoch
+            assert set(latest.arrays) == set(baseline.arrays)
+            for name, array in baseline.arrays.items():
+                assert latest.arrays[name].dtype == array.dtype
+                np.testing.assert_array_equal(latest.arrays[name], array)
+            assert latest.meta == baseline.meta
+
+    def test_truncated_middle_is_skipped_not_fatal(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(_state(epoch=1))
+        middle = store.save(_state(epoch=2, value=9.0))
+        store.save(_state(epoch=3, value=4.0))
+        middle.write_bytes(middle.read_bytes()[:16])
+        assert store.latest().epoch == 3
+
+    def test_all_checkpoints_truncated_yields_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for epoch in (1, 2):
+            path = store.save(_state(epoch=epoch, value=float(epoch)))
+            path.write_bytes(path.read_bytes()[:8])
+        assert store.latest() is None
+
+
 class TestIntegrity:
     def test_digest_mismatch_detected(self, tmp_path):
         store = CheckpointStore(tmp_path)

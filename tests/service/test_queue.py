@@ -1,0 +1,108 @@
+"""Tests for admission control: token buckets, bounded lanes, priority."""
+
+import pytest
+
+from repro.service.queue import AdmissionQueue, QueueFull, RateLimited, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.take() is None
+        assert bucket.take() is None
+        wait = bucket.take()
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.take() is None
+        assert bucket.take() is not None
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.take() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestRateLimiting:
+    def test_per_client_buckets_are_independent(self):
+        clock = FakeClock()
+        q = AdmissionQueue(rate=1.0, burst=1.0, clock=clock)
+        q.check_rate("alice")
+        with pytest.raises(RateLimited) as excinfo:
+            q.check_rate("alice")
+        assert excinfo.value.retry_after_s > 0
+        q.check_rate("bob")  # unaffected by alice's exhaustion
+
+    def test_rate_none_disables_limiting(self):
+        q = AdmissionQueue(rate=None)
+        for _ in range(100):
+            q.check_rate("alice")
+
+
+class TestBoundedLanes:
+    def test_queue_full_raises_with_retry_after(self):
+        q = AdmissionQueue(maxsize=2, rate=None)
+        q.push("a")
+        q.push("b")
+        with pytest.raises(QueueFull) as excinfo:
+            q.push("c")
+        assert excinfo.value.retry_after_s >= 1.0
+
+    def test_force_bypasses_the_bound(self):
+        q = AdmissionQueue(maxsize=1, rate=None)
+        q.push("a")
+        q.push("recovered", priority=True, force=True)
+        assert len(q) == 2
+
+    def test_duplicate_push_is_a_noop(self):
+        q = AdmissionQueue(maxsize=2, rate=None)
+        q.push("a")
+        q.push("a")
+        assert len(q) == 1
+
+    def test_priority_lane_drains_first(self):
+        q = AdmissionQueue(rate=None)
+        q.push("fresh-1")
+        q.push("fresh-2")
+        q.push("recovered", priority=True)
+        assert q.pop(timeout=0.1) == "recovered"
+        assert q.pop(timeout=0.1) == "fresh-1"
+        assert q.pop(timeout=0.1) == "fresh-2"
+
+    def test_pop_times_out_empty(self):
+        q = AdmissionQueue(rate=None)
+        assert q.pop(timeout=0.05) is None
+
+    def test_drop_removes_waiting_id(self):
+        q = AdmissionQueue(rate=None)
+        q.push("a")
+        q.push("b")
+        assert q.drop("a") is True
+        assert q.drop("a") is False
+        assert q.pop(timeout=0.1) == "b"
+        # dropped ids can be pushed again (membership was cleared)
+        q.push("a")
+        assert q.pop(timeout=0.1) == "a"
+
+    def test_depth_reports_both_lanes(self):
+        q = AdmissionQueue(rate=None)
+        q.push("a")
+        q.push("p", priority=True)
+        assert q.depth() == {"priority": 1, "normal": 1}

@@ -1,0 +1,220 @@
+"""Tests for the SQLite run store: state machine, idempotency, recovery."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.service.store import (
+    JOB_STATES,
+    SCHEMA_VERSION,
+    _MIGRATIONS,
+    RunStore,
+    StoreError,
+    canonical_job,
+    job_run_id,
+)
+
+PAYLOAD = {"kind": "experiment", "name": "fig17", "seeds": [0], "epochs": 8, "scale": 4}
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = RunStore(tmp_path / "runs.sqlite3")
+    yield s
+    s.close()
+
+
+class TestIdentity:
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_job({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_run_id_is_content_addressed(self):
+        assert job_run_id(PAYLOAD) == job_run_id(dict(PAYLOAD))
+        other = dict(PAYLOAD, seeds=[1])
+        assert job_run_id(other) != job_run_id(PAYLOAD)
+        assert job_run_id(PAYLOAD).startswith("job-")
+
+
+class TestSubmit:
+    def test_first_submission_is_new(self, store):
+        run_id, is_new, state = store.submit(PAYLOAD, client="t")
+        assert is_new and state == "queued"
+        assert run_id == job_run_id(PAYLOAD)
+
+    def test_repeat_submission_dedupes(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        again, is_new, state = store.submit(PAYLOAD)
+        assert again == run_id and not is_new and state == "queued"
+
+    def test_done_job_dedupes_to_done(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        store.transition(run_id, "running")
+        store.transition(run_id, "done", result="{}")
+        _, is_new, state = store.submit(PAYLOAD)
+        assert not is_new and state == "done"
+
+    def test_failed_job_is_requeued_by_resubmission(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        store.transition(run_id, "running")
+        store.transition(run_id, "failed", error="boom")
+        _, is_new, state = store.submit(PAYLOAD)
+        assert is_new and state == "queued"
+        assert store.job(run_id)["error"] is None
+
+    def test_cancelled_job_is_requeued_by_resubmission(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        store.transition(run_id, "cancelled")
+        _, is_new, state = store.submit(PAYLOAD)
+        assert is_new and state == "queued"
+
+
+class TestStateMachine:
+    def test_full_happy_path(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        assert store.transition(run_id, "running") == "queued"
+        assert store.transition(run_id, "done", result="[1]") == "running"
+        job = store.job(run_id)
+        assert job["state"] == "done"
+        assert job["started_at"] is not None and job["finished_at"] is not None
+        assert store.result(run_id) == "[1]"
+
+    def test_illegal_edges_raise(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        with pytest.raises(StoreError, match="illegal transition"):
+            store.transition(run_id, "done")  # queued -> done skips running
+        store.transition(run_id, "running")
+        store.transition(run_id, "done")
+        with pytest.raises(StoreError, match="illegal transition"):
+            store.transition(run_id, "running")  # done is terminal
+
+    def test_unknown_state_and_run_id_raise(self, store):
+        with pytest.raises(StoreError, match="unknown job state"):
+            store.transition("job-x", "napping")
+        with pytest.raises(StoreError, match="unknown run id"):
+            store.transition("job-x", "running")
+
+    def test_unknown_fields_rejected(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        with pytest.raises(StoreError, match="cannot set fields"):
+            store.transition(run_id, "running", hacker="yes")
+
+    def test_running_to_queued_is_the_resumable_edge(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        store.transition(run_id, "running")
+        assert store.transition(run_id, "queued", priority=True) == "running"
+        assert store.job(run_id)["priority"] is True
+
+    def test_attempts_count_each_running_entry(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        store.transition(run_id, "running")
+        store.transition(run_id, "queued")
+        store.transition(run_id, "running")
+        assert store.job(run_id)["attempts"] == 2
+
+
+class TestCells:
+    def test_record_is_an_upsert(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        store.record_cell(run_id, "a", "ok", 0.5, 1)
+        store.record_cell(run_id, "a", "cached", 0.0, 1)
+        store.record_cell(run_id, "b", "failed", 0.1, 2)
+        cells = {c["key"]: c for c in store.cells(run_id)}
+        assert cells["a"]["status"] == "cached"
+        assert cells["b"]["attempts"] == 2
+
+    def test_clear_cells(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        store.record_cell(run_id, "a", "ok")
+        store.clear_cells(run_id)
+        assert store.cells(run_id) == []
+
+
+class TestRecovery:
+    def test_reclaim_running_requeues_with_priority(self, store):
+        r1, _, _ = store.submit(PAYLOAD)
+        r2, _, _ = store.submit(dict(PAYLOAD, seeds=[1]))
+        store.transition(r1, "running")
+        assert store.reclaim_running() == [r1]
+        assert store.job(r1)["state"] == "queued"
+        assert store.job(r1)["priority"] is True
+        assert store.job(r2)["state"] == "queued"
+
+    def test_counts_cover_every_state(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+        counts = store.counts()
+        assert counts["queued"] == 1
+        assert set(counts) == set(JOB_STATES)
+
+    def test_store_survives_reopen(self, tmp_path):
+        path = tmp_path / "runs.sqlite3"
+        s1 = RunStore(path)
+        run_id, _, _ = s1.submit(PAYLOAD)
+        s1.transition(run_id, "running")
+        s1.record_cell(run_id, "a", "ok")
+        s1.close()
+        s2 = RunStore(path)
+        assert s2.job(run_id)["state"] == "running"
+        assert len(s2.cells(run_id)) == 1
+        s2.close()
+
+
+class TestSchema:
+    def test_schema_version_recorded(self, store):
+        assert store.schema_version == SCHEMA_VERSION
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "runs.sqlite3"
+        RunStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="downgrade unsupported"):
+            RunStore(path)
+
+    def test_migration_hook_steps_old_database_forward(self, tmp_path):
+        path = tmp_path / "runs.sqlite3"
+        RunStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '0' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        ran = []
+        _MIGRATIONS[0] = lambda c: ran.append(0)
+        try:
+            store = RunStore(path)
+            assert ran == [0]
+            assert store.schema_version == SCHEMA_VERSION
+            store.close()
+        finally:
+            del _MIGRATIONS[0]
+
+    def test_missing_migration_raises(self, tmp_path):
+        path = tmp_path / "runs.sqlite3"
+        RunStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '0' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="no migration registered"):
+            RunStore(path)
+
+
+class TestConcurrency:
+    def test_parallel_cell_records_from_threads(self, store):
+        run_id, _, _ = store.submit(PAYLOAD)
+
+        def hammer(i):
+            for j in range(25):
+                store.record_cell(run_id, f"cell-{i}-{j}", "ok", 0.0, 1)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store.cells(run_id)) == 100

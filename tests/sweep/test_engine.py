@@ -6,8 +6,10 @@ import pytest
 
 from repro.runtime.checks import check_level
 from repro.sweep import (
+    SweepCancelled,
     SweepCell,
     SweepError,
+    SweepOptions,
     SweepSpec,
     configured_workers,
     default_workers,
@@ -229,3 +231,69 @@ class TestRngHygiene:
         assert result.value("draw") != result.value("draw2")
         # ...and the caller's global stream is exactly where it was.
         assert np.random.random() == expected
+
+
+class _Flag:
+    """Minimal event-like cancel token (anything with is_set())."""
+
+    def __init__(self):
+        self._set = False
+
+    def set(self):
+        self._set = True
+
+    def is_set(self):
+        return self._set
+
+
+class TestCancellation:
+    def test_cancel_mid_sweep_raises_with_pending_keys(self, tmp_path):
+        token = _Flag()
+
+        def stop_after_two(cell, done, total):
+            if done >= 2:
+                token.set()
+
+        with pytest.raises(SweepCancelled) as excinfo:
+            run_sweep(
+                _square_spec(6), cache_dir=tmp_path, progress=stop_after_two,
+                cancel=token,
+            )
+        exc = excinfo.value
+        assert exc.done < exc.total == 6
+        assert exc.pending_keys  # the unsettled remainder is reported
+
+    def test_cancelled_sweep_resumes_from_cache(self, tmp_path):
+        token = _Flag()
+
+        def stop_immediately(cell, done, total):
+            token.set()
+
+        with pytest.raises(SweepCancelled):
+            run_sweep(
+                _square_spec(6), cache_dir=tmp_path, progress=stop_immediately,
+                cancel=token,
+            )
+        # second run, no cancel: settled cells replay from cache
+        result = run_sweep(_square_spec(6), cache_dir=tmp_path, resume=True)
+        assert result.ok
+        assert result.values() == {f"x={i}": i * i for i in range(6)}
+        assert any(c.status == "cached" for c in result.cells)
+
+    def test_cancel_via_options_matches_explicit_kwarg(self, tmp_path):
+        token = _Flag()
+        token.set()  # pre-set: nothing may run
+        options = SweepOptions(cancel=token)
+        with pytest.raises(SweepCancelled) as excinfo:
+            run_sweep(_square_spec(3), options=options)
+        assert excinfo.value.done == 0
+
+    def test_unset_token_changes_nothing(self):
+        result = run_sweep(_square_spec(3), cancel=_Flag())
+        assert result.ok and len(result.cells) == 3
+
+    def test_options_progress_callback_is_used(self):
+        seen = []
+        options = SweepOptions(progress=lambda cell, done, total: seen.append(cell.key))
+        result = run_sweep(_square_spec(3), options=options)
+        assert result.ok and sorted(seen) == ["x=0", "x=1", "x=2"]

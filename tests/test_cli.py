@@ -348,3 +348,68 @@ class TestJsonOutputs:
             "sweep", "fig17", "--metrics", str(parallel), "--workers", "2",
         ]) == 0
         assert serial.read_bytes() == parallel.read_bytes()
+
+
+class TestCellFailureExitCodes:
+    """sweep/faults exit 1 on cell failures (2 stays for usage errors),
+    and --allow-partial downgrades them to a warning + exit 0."""
+
+    @pytest.fixture
+    def chaos(self, monkeypatch):
+        # deterministically fail every cell's first 5 attempts
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "raise:5")
+
+    def test_sweep_cell_failures_exit_1(self, chaos, capsys):
+        assert main(["sweep", "fig17", "--json"]) == 1
+        captured = capsys.readouterr()
+        assert "error: cell" in captured.err
+        assert "ChaosError" in captured.err
+
+    def test_sweep_allow_partial_exits_0(self, chaos, capsys):
+        assert main(["sweep", "fig17", "--json", "--allow-partial"]) == 0
+        captured = capsys.readouterr()
+        assert "--allow-partial" in captured.err
+        assert json.loads(captured.out.splitlines()[-1]) == {}
+
+    def test_sweep_usage_error_still_exits_2(self, capsys):
+        assert main(["sweep", "fig17", "--resume"]) == 2
+
+    def test_sweep_clean_run_still_exits_0(self, capsys):
+        assert main(["sweep", "fig17", "--json"]) == 0
+
+    def test_faults_cell_failures_exit_1(self, chaos, capsys):
+        rc = main([
+            "faults", "--trials", "1", "--formats", "dense",
+            "--models", "value_flip",
+        ])
+        assert rc == 1
+        assert "error: cell faults-dense-value_flip" in capsys.readouterr().err
+
+    def test_faults_allow_partial_exits_0(self, chaos, capsys):
+        rc = main([
+            "faults", "--trials", "1", "--formats", "dense",
+            "--models", "value_flip", "--allow-partial",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "warning: skipped failed cell faults-dense-value_flip" in captured.err
+        assert "ecc=none" in captured.out  # table still rendered (empty)
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "--data-dir", "/tmp/x"])
+        assert args.port == 8765 and args.host == "127.0.0.1"
+        assert args.job_workers == 1 and args.queue_size == 64
+        assert args.rate == 10.0 and args.burst == 20.0
+        assert args.allow_fn_prefix is None
+
+    def test_data_dir_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_invalid_config_exits_2(self, capsys):
+        assert main([
+            "serve", "--data-dir", "/tmp/x", "--job-workers", "0",
+        ]) == 2
+        assert "job_workers" in capsys.readouterr().err
