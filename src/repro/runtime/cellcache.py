@@ -67,7 +67,20 @@ class CellCache:
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def path(self, name: str, payload: Dict[str, Any]) -> Path:
-        return self.directory / f"{cache_key(name, payload)}.pkl"
+        """Entry path for cell ``name`` -- always *inside* the cache dir.
+
+        Keys may contain ``/`` (nested entries), so a hostile key like
+        ``"../../x"`` would otherwise address a path outside the cache;
+        the service validates submitted keys, and this lexical
+        containment check backstops every other caller.
+        """
+        entry = self.directory / f"{cache_key(name, payload)}.pkl"
+        base = os.path.abspath(self.directory)
+        if not os.path.abspath(entry).startswith(base + os.sep):
+            raise ValueError(
+                f"cell key {name!r} escapes cache directory {self.directory}"
+            )
+        return entry
 
     def read_hit(self, path: Optional[Path]) -> Tuple[bool, Any]:
         """``(hit, value)`` for the entry at ``path``.

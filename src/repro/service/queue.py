@@ -5,7 +5,10 @@ Three pieces, all stdlib:
 * :class:`TokenBucket` -- the classic per-client rate limiter: a bucket
   of ``burst`` tokens refilling at ``rate`` per second.  ``take()``
   either consumes a token or reports how long until one exists, which
-  becomes the HTTP ``Retry-After`` header.
+  becomes the HTTP ``Retry-After`` header.  The HTTP layer keys buckets
+  by *remote address*, never by a client-supplied header (which a
+  flooder could rotate to mint fresh buckets), and the bucket map is a
+  bounded LRU so fabricated identities cannot grow it without limit.
 * :class:`AdmissionQueue` -- a bounded two-lane queue of run ids.  The
   **priority lane** holds near-free work -- jobs reclaimed by crash
   recovery or resubmitted after completion, whose cells are already in
@@ -26,9 +29,9 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from math import ceil
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 __all__ = ["AdmissionQueue", "QueueFull", "RateLimited", "TokenBucket"]
 
@@ -97,14 +100,18 @@ class AdmissionQueue:
         rate: Optional[float] = 10.0,
         burst: Optional[float] = 20.0,
         clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 1024,
     ):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if max_clients < 1:
+            raise ValueError(f"max_clients must be >= 1, got {max_clients}")
         self.maxsize = maxsize
         self._rate = rate
         self._burst = burst if burst is not None else (rate or 0) * 2
         self._clock = clock
-        self._buckets: Dict[str, TokenBucket] = {}
+        self._max_clients = max_clients
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
         self._priority: deque = deque()
         self._normal: deque = deque()
         self._members: set = set()
@@ -123,17 +130,28 @@ class AdmissionQueue:
             return None
         bucket = self._buckets.get(client)
         if bucket is None:
+            # LRU-evict the coldest bucket at the cap: an evicted client
+            # merely restarts from a full burst, whereas an unbounded map
+            # is a memory leak any identity-rotating client can drive.
+            while len(self._buckets) >= self._max_clients:
+                self._buckets.popitem(last=False)
             bucket = self._buckets[client] = TokenBucket(
                 self._rate, self._burst, clock=self._clock
             )
+        else:
+            self._buckets.move_to_end(client)
         return bucket
 
     def check_rate(self, client: str) -> None:
         """Charge one submission against ``client``'s bucket.
 
-        Applied to every submission attempt -- including dedupes and
-        rejects -- so a flood of repeat POSTs is throttled like any
-        other flood.  Raises :class:`RateLimited` when exhausted.
+        ``client`` must be an identity the peer cannot choose freely
+        (the HTTP layer passes the remote address) -- keying on a
+        client-supplied header would let a flooder rotate identities to
+        dodge the bucket.  Applied to every submission attempt --
+        including dedupes and rejects -- so a flood of repeat POSTs is
+        throttled like any other flood.  Raises :class:`RateLimited`
+        when exhausted.
         """
         with self._cond:
             bucket = self._bucket(client)
@@ -165,6 +183,21 @@ class AdmissionQueue:
         # Heuristic: no execution-time oracle exists at admission time,
         # so advertise a backoff proportional to the backlog depth.
         return max(1.0, min(30.0, size * 0.5))
+
+    def check_capacity(self) -> None:
+        """Raise :class:`QueueFull` if a non-``force`` push would be
+        refused right now.
+
+        For admission paths that must decide *before* durably recording
+        a job whether it can be scheduled (the service's submit pipeline
+        checks capacity, then writes the store, then ``push(...,
+        force=True)``).  Same bound as :meth:`push`, owned by the queue
+        so the two cannot drift.
+        """
+        with self._cond:
+            size = len(self._priority) + len(self._normal)
+            if size >= self.maxsize:
+                raise QueueFull(size, self._retry_after(size))
 
     def pop(self, timeout: Optional[float] = None) -> Optional[str]:
         """Dequeue the next run id (priority lane first), or ``None`` on

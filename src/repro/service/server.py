@@ -41,7 +41,9 @@ spec (``{"spec": {"name": ..., "cells": [{"key", "fn", "kwargs",
 "seed"}, ...]}}``).  Spec cells resolve their callables by import path;
 only prefixes in ``ServiceConfig.allow_fn_prefixes`` (default
 ``repro.``) are accepted, so a network peer cannot point a job at
-arbitrary code.
+arbitrary code.  Cell keys become cache *filenames*, so they must be
+relative paths of plain components (no ``..``, no leading ``/``) -- a
+peer cannot use a key to write outside the service data directory.
 """
 
 from __future__ import annotations
@@ -59,7 +61,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..obs import metrics as obs_metrics
 from ..obs import state as obs_state
 from ..sweep import SweepCancelled, SweepCell, SweepOptions, SweepSpec
-from .queue import AdmissionQueue, RateLimited
+from .queue import AdmissionQueue, QueueFull, RateLimited
 from .store import RunStore, StoreError
 
 __all__ = ["ServiceConfig", "SimService", "normalize_payload"]
@@ -168,6 +170,19 @@ def normalize_payload(
         key, fn = cell.get("key"), cell.get("fn")
         if not isinstance(key, str) or not key:
             raise ValueError(f"spec cell #{i} needs a string 'key'")
+        # Keys become cache *filenames* ("/" nests subdirectories), so a
+        # traversal key like "../../etc/x" would make the service write
+        # pickles outside its data dir.  Permit only relative paths of
+        # plain components.
+        if (
+            "\\" in key
+            or "\x00" in key
+            or any(part in ("", ".", "..") for part in key.split("/"))
+        ):
+            raise ValueError(
+                f"spec cell key {key!r} must be a relative path of "
+                "non-empty components without '.' or '..'"
+            )
         if key in seen:
             raise ValueError(f"duplicate spec cell key {key!r}")
         seen.add(key)
@@ -325,21 +340,33 @@ class SimService:
 
     # -- submission (HTTP POST /jobs) ---------------------------------------
 
+    @staticmethod
+    def _shed(exc: Exception) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """429 response for a structured rejection carrying ``retry_after_s``."""
+        retry_after_s = getattr(exc, "retry_after_s", 1.0)
+        return (
+            429,
+            {"error": str(exc), "retry_after_s": retry_after_s},
+            {"Retry-After": str(max(1, int(retry_after_s + 0.999)))},
+        )
+
     def submit(
-        self, raw: Dict[str, Any], client: str
+        self, raw: Dict[str, Any], client: str, rate_key: Optional[str] = None
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        """Admission pipeline; returns ``(http_status, body, headers)``."""
+        """Admission pipeline; returns ``(http_status, body, headers)``.
+
+        ``client`` is an advisory label recorded on the job row (the
+        ``X-Client`` header when present); ``rate_key`` is the identity
+        rate limiting charges -- the HTTP layer passes the peer's remote
+        address, which a client cannot rotate the way it can a header.
+        """
         if self._draining:
             return 503, {"error": "service is draining"}, {"Retry-After": "5"}
         try:
-            self.queue.check_rate(client)
+            self.queue.check_rate(rate_key if rate_key is not None else client)
         except RateLimited as exc:
             self._count("jobs_rejected")
-            return (
-                429,
-                {"error": str(exc), "retry_after_s": exc.retry_after_s},
-                {"Retry-After": str(max(1, int(exc.retry_after_s + 0.999)))},
-            )
+            return self._shed(exc)
         cached_only = bool(raw.get("cached_only", False)) if isinstance(raw, dict) else False
         try:
             payload = normalize_payload(
@@ -359,16 +386,11 @@ class SimService:
             existing = self.store.job(job_run_id(payload))
             is_fresh = existing is None or existing["state"] in ("failed", "cancelled")
             if is_fresh:
-                size = len(self.queue)
-                if size >= self.queue.maxsize:
+                try:
+                    self.queue.check_capacity()
+                except QueueFull as exc:
                     self._count("jobs_rejected")
-                    retry = self.queue._retry_after(size)
-                    return (
-                        429,
-                        {"error": f"admission queue full ({size} waiting)",
-                         "retry_after_s": retry},
-                        {"Retry-After": str(max(1, int(retry + 0.999)))},
-                    )
+                    return self._shed(exc)
             run_id, is_new, state = self.store.submit(
                 payload, client=client, priority=cached_only
             )
@@ -398,18 +420,28 @@ class SimService:
             try:
                 self.store.transition(run_id, "cancelled")
             except StoreError:
-                # A worker claimed it between our read and the CAS; fall
-                # through to the running path.
-                state = "running"
+                # Lost the CAS: a worker claimed the job (or it settled)
+                # between our read and the transition.  Re-read instead
+                # of assuming where it went.
+                job = self.store.job(run_id)
+                if job is not None:
+                    state = job["state"]
             else:
                 self._count("jobs_cancelled")
                 return 200, {"run_id": run_id, "state": "cancelled"}
         if state == "running":
+            # Workers register the token *before* their queued->running
+            # CAS, so every running job has one; a missing token means
+            # the job settled since our read -- re-read and report the
+            # terminal state rather than a phantom "cancelling".
             with self._cancel_lock:
                 token = self._cancels.get(run_id)
             if token is not None:
                 token.set()
-            return 202, {"run_id": run_id, "state": "cancelling"}
+                return 202, {"run_id": run_id, "state": "cancelling"}
+            job = self.store.job(run_id)
+            if job is not None:
+                state = job["state"]
         return 409, {"error": f"job {run_id} already {state}"}
 
     # -- execution ----------------------------------------------------------
@@ -424,13 +456,19 @@ class SimService:
             job = self.store.job(run_id)
             if job is None or job["state"] != "queued":
                 continue
-            try:
-                self.store.transition(run_id, "running")
-            except StoreError:
-                continue  # raced with a cancel; nothing to do
+            # Register the cancel token *before* the queued->running
+            # CAS: a cancel() that loses its own queued->cancelled CAS
+            # to us must find a token to set, or the job would run to
+            # completion while the client was told "cancelling".
             token = _CancelToken()
             with self._cancel_lock:
                 self._cancels[run_id] = token
+            try:
+                self.store.transition(run_id, "running")
+            except StoreError:
+                with self._cancel_lock:
+                    self._cancels.pop(run_id, None)
+                continue  # raced with a cancel; nothing to do
             try:
                 value = self._execute(run_id, job["payload"], token)
             except SweepCancelled as exc:
@@ -551,7 +589,13 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         logger.debug("%s %s", self.address_string(), format % args)
 
-    def _client_id(self) -> str:
+    def _client_label(self) -> str:
+        """Advisory client label recorded on the job row.
+
+        Never used for rate limiting -- the ``X-Client`` header is
+        client-controlled, so buckets key on the remote address instead
+        (rotating header values must not mint fresh buckets).
+        """
         return self.headers.get("X-Client") or self.client_address[0]
 
     def _send_json(
@@ -623,7 +667,9 @@ class _Handler(BaseHTTPRequestHandler):
             if not isinstance(body, dict):
                 self._send_json(400, {"error": "request body must be a JSON object"})
                 return
-            status, payload, headers = self.service.submit(body, self._client_id())
+            status, payload, headers = self.service.submit(
+                body, client=self._client_label(), rate_key=self.client_address[0]
+            )
             self._send_json(status, payload, headers)
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
             status, payload = self.service.cancel(parts[1])

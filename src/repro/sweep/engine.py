@@ -521,13 +521,21 @@ def run_sweep(
 
     pending_keys = [p["key"] for p in pending if p["key"] not in by_key]
     if pending_keys:
-        # Only a set cancellation token leaves cells unsettled; the
-        # settled ones are already cached, so this is a resumable stop.
-        logger.warning(
-            "sweep %s: cancelled with %d/%d cell(s) settled",
-            spec.name, done, total,
+        if cancel is not None and cancel.is_set():
+            # A set cancellation token legitimately leaves cells
+            # unsettled; the settled ones are already cached, so this is
+            # a resumable stop.
+            logger.warning(
+                "sweep %s: cancelled with %d/%d cell(s) settled",
+                spec.name, done, total,
+            )
+            raise SweepCancelled(spec.name, done, total, pending_keys)
+        # No cancellation, yet cells vanished without settling: that is
+        # a supervisor bug, not a resumable stop -- report it as one.
+        raise SweepError(
+            f"sweep {spec.name!r}: {len(pending_keys)} cell(s) never settled "
+            f"({done}/{total} done): " + ", ".join(pending_keys[:5])
         )
-        raise SweepCancelled(spec.name, done, total, pending_keys)
 
     ordered = [by_key[cell.key] for cell in spec.cells]
     if obs_state.enabled():

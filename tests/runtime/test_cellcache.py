@@ -5,6 +5,8 @@ import multiprocessing
 import pickle
 import time
 
+import pytest
+
 from repro.runtime.cellcache import CellCache, cache_key
 
 
@@ -121,6 +123,15 @@ class TestWriteLock:
         path = cache.path("cnn@0.75/seed0/Dense", {"k": 3})
         cache.write(path, {"ok": True})
         assert cache.read_hit(path) == (True, {"ok": True})
+
+    def test_traversal_keys_cannot_escape_the_cache_dir(self, tmp_path):
+        cache = CellCache(tmp_path / "cells")
+        for key in ("../evil", "a/../../evil", "/abs/evil"):
+            with pytest.raises(ValueError, match="escapes"):
+                cache.path(key, {"k": 1})
+        # ".." that stays inside the directory is contained, not an escape
+        inside = cache.path("a/../b", {"k": 1})
+        assert str(inside).startswith(str(tmp_path / "cells"))
 
 
 class TestCacheKey:

@@ -55,6 +55,18 @@ class TestRateLimiting:
         for _ in range(100):
             q.check_rate("alice")
 
+    def test_bucket_map_is_lru_bounded(self):
+        clock = FakeClock()
+        q = AdmissionQueue(rate=1.0, burst=1.0, clock=clock, max_clients=2)
+        q.check_rate("alice")
+        q.check_rate("bob")
+        q.check_rate("carol")  # at the cap: evicts alice, the coldest
+        assert set(q._buckets) == {"bob", "carol"}
+        # an evicted client restarts from a full burst (no exception)
+        # and its re-admission evicts the new coldest entry
+        q.check_rate("alice")
+        assert set(q._buckets) == {"carol", "alice"}
+
 
 class TestBoundedLanes:
     def test_queue_full_raises_with_retry_after(self):
@@ -64,6 +76,17 @@ class TestBoundedLanes:
         with pytest.raises(QueueFull) as excinfo:
             q.push("c")
         assert excinfo.value.retry_after_s >= 1.0
+
+    def test_check_capacity_matches_push_bound(self):
+        q = AdmissionQueue(maxsize=2, rate=None)
+        q.check_capacity()  # empty: no raise
+        q.push("a")
+        q.push("b")
+        with pytest.raises(QueueFull) as excinfo:
+            q.check_capacity()
+        assert excinfo.value.retry_after_s >= 1.0
+        q.pop(timeout=0.1)
+        q.check_capacity()  # back under the bound
 
     def test_force_bypasses_the_bound(self):
         q = AdmissionQueue(maxsize=1, rate=None)

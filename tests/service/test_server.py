@@ -86,6 +86,22 @@ class TestNormalizePayload:
         with pytest.raises(ValueError):
             normalize_payload(bad)
 
+    @pytest.mark.parametrize("key", [
+        "../evil", "a/../../evil", "/abs/evil", "a/./b", "a//b",
+        "..", "back\\slash", "nul\x00byte",
+    ])
+    def test_traversal_keys_are_rejected(self, key):
+        # Keys become cache filenames; anything that could address a
+        # path outside the cache directory must die at validation.
+        cells = [{"key": key, "fn": "repro.x:y", "kwargs": {}}]
+        with pytest.raises(ValueError, match="relative path"):
+            normalize_payload({"spec": {"name": "x", "cells": cells}})
+
+    def test_nested_keys_remain_supported(self):
+        cells = [{"key": "cnn@0.75/seed0/Dense", "fn": "repro.x:y", "kwargs": {}}]
+        payload = normalize_payload({"spec": {"name": "x", "cells": cells}})
+        assert payload["cells"][0]["key"] == "cnn@0.75/seed0/Dense"
+
     def test_fn_prefix_allowlist_is_configurable(self):
         cells = [{"key": "a", "fn": f"{CELLS}:add", "kwargs": {}}]
         with pytest.raises(ValueError, match="allowed prefixes"):
@@ -258,6 +274,33 @@ class TestRateLimiting:
                 assert exc.code == 429
                 assert float(exc.headers["Retry-After"]) >= 1
             assert svc.counters["jobs_rejected"] >= 1
+        finally:
+            svc.shutdown()
+            thread.join(timeout=5)
+
+    def test_rotating_x_client_cannot_dodge_the_bucket(self, tmp_path):
+        # Buckets key on the remote address; the X-Client header is an
+        # advisory label, so rotating it per request must still 429.
+        config = ServiceConfig(
+            data_dir=str(tmp_path / "svc"), port=0, rate=1.0, burst=2.0,
+            allow_fn_prefixes=("repro.", "tests."),
+        )
+        svc = SimService(config)
+        host, port = svc.start()
+        thread = threading.Thread(target=svc.serve_forever, daemon=True)
+        thread.start()
+        try:
+            rejected = False
+            for i in range(6):
+                client = ServiceClient(
+                    f"http://{host}:{port}", client_id=f"rotator-{i}"
+                )
+                try:
+                    client.submit(spec_job(f"rotate-{i}", add_cells(1)))
+                except RateLimitedError:
+                    rejected = True
+                    break
+            assert rejected, "rotating X-Client values dodged rate limiting"
         finally:
             svc.shutdown()
             thread.join(timeout=5)

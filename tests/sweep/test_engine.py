@@ -292,6 +292,22 @@ class TestCancellation:
         result = run_sweep(_square_spec(3), cancel=_Flag())
         assert result.ok and len(result.cells) == 3
 
+    def test_unsettled_cells_without_cancel_are_an_error(self, monkeypatch):
+        # A supervisor that silently drops cells is a bug, not a
+        # resumable stop: with no cancel token set, the engine must
+        # raise plain SweepError, never SweepCancelled.
+        from repro.sweep import engine
+
+        class _DroppingSupervisor(engine.Supervisor):
+            def run(self, payloads, cancel=None):
+                return iter(())
+
+        monkeypatch.setattr(engine, "Supervisor", _DroppingSupervisor)
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(_square_spec(3), cancel=_Flag())
+        assert not isinstance(excinfo.value, SweepCancelled)
+        assert "never settled" in str(excinfo.value)
+
     def test_options_progress_callback_is_used(self):
         seen = []
         options = SweepOptions(progress=lambda cell, done, total: seen.append(cell.key))
