@@ -26,6 +26,7 @@ from ..core.maskspace import maskspace_table
 from ..core.patterns import PatternFamily
 from ..core.similarity import pattern_similarity_sweep
 from ..core.sparsify import tbs_sparsify
+from ..core.transposable import transposable_sparsify
 from ..formats.memory_model import compare_formats
 from ..hw.area import a100_overhead_percent, area_breakdown
 from ..hw.config import tb_stc
@@ -71,6 +72,7 @@ __all__ = [
     "run_fig16_scheduling_ablation",
     "run_fig17_distribution",
     "run_fig18_convergence",
+    "run_wide_oneshot",
 ]
 
 #: The pattern families compared throughout the accuracy evaluation.
@@ -99,6 +101,7 @@ EXPERIMENTS = (
     "fig16",
     "fig17",
     "fig18",
+    "wide",
 )
 
 
@@ -164,6 +167,8 @@ def run_experiment(
         return run_fig17_distribution(**sweep)
     if name == "fig18":
         return run_fig18_convergence(epochs=epochs)
+    if name == "wide":
+        return run_wide_oneshot(scale=scale, **sweep)
     raise ValueError(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
 
 
@@ -427,6 +432,107 @@ def run_fig18_convergence(
         if name == "TBS":
             curves["TBS_sparsity"] = res.sparsity_history
     return curves
+
+
+# ---------------------------------------------------------------------------
+# Wide-layer one-shot transposable pruning (tsolver scenario)
+# ---------------------------------------------------------------------------
+
+
+def _wide_cell(
+    backend: str, rows: int, cols: int, m: int, sparsity: float, seed: int
+) -> Dict[str, float]:
+    """One wide-pruning grid point: magnitude one-shot NM-T pruning of a
+    synthetic layer with one solver backend.  Cell values are retained
+    |score| fractions -- pure functions of the kwargs, so the sweep is
+    bit-identical at any worker count (no wall-clock in the payload)."""
+    weights = synthetic_weights(rows, cols, seed=seed)
+    scores = np.abs(weights)
+    mask, _ = transposable_sparsify(scores, m=m, sparsity=sparsity, backend=backend)
+    return {
+        "retained_score": float((scores * mask).sum() / scores.sum()),
+        "density": float(mask.mean()),
+    }
+
+
+def run_wide_oneshot(
+    sparsity: float = 0.75,
+    seed: int = 0,
+    scale: int = 4,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    options: Optional[SweepOptions] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Wide-layer one-shot pruning across transposable-solver backends.
+
+    Three scenarios, each magnitude-pruned to the strictly transposable
+    NM-T pattern (:func:`repro.core.transposable.transposable_sparsify`):
+
+    * ``ref`` -- a small M=8 layer where the ``exact`` min-cost-flow
+      oracle is tractable; all three backends run and the greedy/tsenor
+      rows carry their retained-score ratio against exact.
+    * ``wide`` -- a wide M=32 layer (projection-style shape) where exact
+      is intractable; greedy and ``tsenor`` (the batched Sinkhorn
+      backend) are compared head to head.
+    * ``wide64`` -- a wider-still M=64 layer that only the vectorized
+      tsenor backend solves in reasonable time.
+
+    Returns ``{scenario: {backend: retained_score, ...}}`` plus the
+    quality ratios; one sweep cell per (scenario, backend).
+    """
+    scale = max(int(scale), 1)
+    shapes = {
+        "ref": (max(8, 512 // scale), max(8, 1024 // scale), 8),
+        "wide": (max(32, 1024 // scale), max(32, 4096 // scale), 32),
+        "wide64": (max(64, 2048 // scale), max(64, 8192 // scale), 64),
+    }
+    grid = [
+        ("ref", "greedy"),
+        ("ref", "exact"),
+        ("ref", "tsenor"),
+        ("wide", "greedy"),
+        ("wide", "tsenor"),
+        ("wide64", "tsenor"),
+    ]
+    cells = [
+        SweepCell(
+            key=f"{scenario}/{backend}",
+            fn=_wide_cell,
+            kwargs={
+                "backend": backend,
+                "rows": shapes[scenario][0],
+                "cols": shapes[scenario][1],
+                "m": shapes[scenario][2],
+                "sparsity": sparsity,
+                "seed": seed,
+            },
+        )
+        for scenario, backend in grid
+    ]
+    sweep = run_sweep(
+        SweepSpec("wide-oneshot", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        options=options,
+        strict=True,
+    )
+    out: Dict[str, Dict[str, float]] = {}
+    for scenario, backend in grid:
+        cell = sweep.value(f"{scenario}/{backend}")
+        row = out.setdefault(scenario, {})
+        row[backend] = cell["retained_score"]
+        row.setdefault("density", cell["density"])
+    exact = out["ref"]["exact"]
+    for backend in ("greedy", "tsenor"):
+        out["ref"][f"{backend}_vs_exact"] = out["ref"][backend] / exact
+    out["wide"]["tsenor_vs_greedy"] = out["wide"]["tsenor"] / out["wide"]["greedy"]
+    for scenario, (rows, cols, m) in shapes.items():
+        out[scenario]["m"] = float(m)
+        out[scenario]["rows"] = float(rows)
+        out[scenario]["cols"] = float(cols)
+    return out
 
 
 # ---------------------------------------------------------------------------

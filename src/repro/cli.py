@@ -93,7 +93,12 @@ _EXPERIMENTS = (
     "fig16",
     "fig17",
     "fig18",
+    "wide",
 )
+
+#: Transposable-mask solver backends, duplicated from
+#: ``repro.core.tsolvers.TSOLVER_NAMES`` for the same lazy-import reason.
+_TSOLVERS = ("greedy", "exact", "tsenor")
 
 
 def _add_checks_flags(cmd: argparse.ArgumentParser, help_text: str, default=None) -> None:
@@ -210,9 +215,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     prune = sub.add_parser("prune", help="prune a .npy weight matrix")
     prune.add_argument("weights", help="path to a 2-D .npy array")
-    prune.add_argument("--pattern", default="TBS", choices=["US", "TS", "RS_V", "RS_H", "TBS"])
+    prune.add_argument(
+        "--pattern", default="TBS", choices=["US", "TS", "RS_V", "RS_H", "TBS", "NMT"]
+    )
     prune.add_argument("--sparsity", type=float, default=0.5)
     prune.add_argument("--m", type=int, default=8)
+    prune.add_argument(
+        "--tsolver", default=None, choices=list(_TSOLVERS),
+        help="transposable-mask solver backend for --pattern NMT "
+        "(default: $REPRO_TSOLVER or greedy; other patterns ignore it)",
+    )
     prune.add_argument("--out", default=None, help="output mask path (default: <weights>.mask.npy)")
     _add_checks_flags(prune, "validate the generated mask against its pattern family")
 
@@ -223,6 +235,12 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--sparsity", type=float, default=0.75)
     sim.add_argument("--arch", default="TB-STC")
     sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--tsolver", default=None, choices=list(_TSOLVERS),
+        help="transposable-mask solver backend used if the workload's "
+        "masks are built with the NMT family (default: $REPRO_TSOLVER "
+        "or greedy)",
+    )
     sim.add_argument(
         "--weight-bits", type=int, default=16,
         help="weight precision in bits (8 halves weight traffic; default: 16)",
@@ -514,6 +532,8 @@ def _render_report(experiment: str, res) -> None:
     elif experiment == "fig18":
         for name, series in res.items():
             print(name, [round(v, 3) for v in series])
+    elif experiment == "wide":
+        print(render_dict_table(res, key_header="scenario"))
     else:  # pragma: no cover - choices restrict this
         raise ValueError(experiment)
 
@@ -651,6 +671,14 @@ def _run_prune(args) -> int:
         result = tbs_sparsify(weights, m=args.m, sparsity=args.sparsity)
         mask = result.mask
         extra = f", directions {result.direction_histogram()}"
+    elif family is PatternFamily.NMT:
+        from .core.transposable import transposable_sparsify
+        from .core.tsolvers import resolve_tsolver
+
+        mask, _ = transposable_sparsify(
+            weights, m=args.m, sparsity=args.sparsity, backend=args.tsolver
+        )
+        extra = f", solver {resolve_tsolver(args.tsolver)}"
     else:
         mask = make_mask(weights, PatternSpec(family, m=args.m, sparsity=args.sparsity))
         extra = ""
@@ -680,13 +708,16 @@ def _run_simulate(args) -> int:
     try:
         config = arch_by_name(args.arch)
         options = SimOptions(
-            weight_bits=args.weight_bits, fault=args.fault, fault_seed=args.fault_seed
+            weight_bits=args.weight_bits, fault=args.fault,
+            fault_seed=args.fault_seed, tsolver=args.tsolver,
         )
     except ValueError as exc:
         return _fail(str(exc))
     family = ARCH_FAMILY.get(args.arch, PatternFamily.TBS)
     layer = LayerSpec("cli", args.rows, args.cols, args.b_cols)
-    workload = build_workload(layer, family, args.sparsity, seed=args.seed)
+    workload = build_workload(
+        layer, family, args.sparsity, seed=args.seed, tsolver=args.tsolver
+    )
     result = simulate_arch(config, workload, options=options)
     if args.json:
         print(json.dumps(result.to_dict(), sort_keys=True))

@@ -54,6 +54,7 @@ from .patterns import (
     PatternSpec,
     default_candidates,
     nearest_candidate,
+    nearest_candidates_grid,
     sparsity_of,
 )
 from .similarity import (
@@ -63,6 +64,13 @@ from .similarity import (
     pattern_similarity_sweep,
 )
 from .sparsify import TBSResult, block_pattern_grid, tbs_sparsify
+from .tsolvers import (
+    DEFAULT_TSOLVER,
+    TSOLVER_NAMES,
+    resolve_tsolver,
+    solve_block,
+    solve_blocks,
+)
 from .transposable import (
     is_transposable,
     transposable_block_mask,
@@ -76,6 +84,8 @@ __all__ = [
     "BlockPattern",
     "DEFAULT_CANDIDATES",
     "DEFAULT_M",
+    "DEFAULT_TSOLVER",
+    "TSOLVER_NAMES",
     "Direction",
     "NMConfig",
     "PatternFamily",
@@ -105,7 +115,11 @@ __all__ = [
     "maskspace_table",
     "merge_from_blocks",
     "nearest_candidate",
+    "nearest_candidates_grid",
     "pad_to_blocks",
+    "resolve_tsolver",
+    "solve_block",
+    "solve_blocks",
     "pattern_similarity_sweep",
     "sparsegpt_prune",
     "sparsegpt_scores",

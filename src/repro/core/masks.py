@@ -228,4 +228,11 @@ def make_mask(scores: np.ndarray, spec: PatternSpec) -> np.ndarray:
         from .sparsify import tbs_sparsify
 
         return tbs_sparsify(scores, m=spec.m, sparsity=spec.sparsity, candidates=spec.candidates).mask
+    if spec.family is PatternFamily.NMT:
+        from .transposable import transposable_sparsify
+
+        mask, _ = transposable_sparsify(
+            scores, m=spec.m, sparsity=spec.sparsity, candidates=spec.candidates
+        )
+        return mask
     raise ValueError(f"unknown pattern family: {spec.family}")

@@ -25,13 +25,20 @@ from typing import Sequence, Tuple
 
 
 class PatternFamily(enum.Enum):
-    """The sparsity-pattern families compared throughout the paper."""
+    """The sparsity-pattern families compared throughout the paper.
+
+    ``NMT`` is the strictly-transposable N:M baseline (Hubara et al.,
+    ref. [25]): every ``M x M`` block satisfies N:M in *both*
+    dimensions, built by the solver backends in
+    :mod:`repro.core.tsolvers`.
+    """
 
     US = "unstructured"
     TS = "tile-wise"
     RS_V = "row-wise-vegeta"
     RS_H = "row-wise-highlight"
     TBS = "transposable-block-wise"
+    NMT = "transposable-nm"
 
     @property
     def is_structured(self) -> bool:
@@ -186,6 +193,25 @@ def nearest_candidate(density: float, m: int, candidates: Sequence[int]) -> int:
         raise ValueError("candidate list must not be empty")
     best = min(candidates, key=lambda n: (abs(n / m - density), n))
     return best
+
+
+def nearest_candidates_grid(density, m: int, candidates: Sequence[int]):
+    """Vectorized :func:`nearest_candidate` over an array of densities.
+
+    Bit-compatible with the scalar form: candidates are sorted ascending
+    so the first argmin along the candidate axis realises the same
+    ``(abs(n / m - density), n)`` lexicographic tie-break, and the
+    per-candidate distance ``n / m - density`` is computed with the same
+    float operations.  Returns an int64 array shaped like ``density``.
+    """
+    import numpy as np
+
+    if not candidates:
+        raise ValueError("candidate list must not be empty")
+    cands = np.asarray(sorted(candidates), dtype=np.int64)
+    density = np.asarray(density, dtype=np.float64)
+    diffs = np.abs(cands / m - density[..., None])
+    return cands[np.argmin(diffs, axis=-1)]
 
 
 def sparsity_of(mask) -> float:

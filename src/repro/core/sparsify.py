@@ -21,7 +21,14 @@ import numpy as np
 
 from .blocks import merge_from_blocks, split_into_blocks
 from .masks import topn_along_last, unstructured_mask
-from .patterns import DEFAULT_M, BlockPattern, Direction, PatternSpec, PatternFamily, nearest_candidate
+from .patterns import (
+    DEFAULT_M,
+    BlockPattern,
+    Direction,
+    PatternSpec,
+    PatternFamily,
+    nearest_candidates_grid,
+)
 
 __all__ = ["TBSResult", "tbs_sparsify", "block_pattern_grid"]
 
@@ -161,11 +168,7 @@ def tbs_sparsify(
     # Step 2: per-block N from the unstructured density.  Padding at the
     # ragged edge counts as zeros, exactly as the padded hardware tile does.
     block_density = us_blocks.mean(axis=(2, 3))
-    n_br, n_bc = block_density.shape
-    block_n = np.empty((n_br, n_bc), dtype=np.int64)
-    for r in range(n_br):
-        for c in range(n_bc):
-            block_n[r, c] = nearest_candidate(float(block_density[r, c]), m, spec.candidates)
+    block_n = nearest_candidates_grid(block_density, m, spec.candidates)
 
     # Step 3: per-block direction by L1 distance to the unstructured pattern.
     row_masks, col_masks = _directional_masks(score_blocks, block_n)

@@ -10,17 +10,19 @@ footnote 2 discusses NM-T's mask-diversity measure).
 This module implements:
 
 * :func:`is_transposable` -- check the 2-D N:M constraint per block;
-* :func:`transposable_block_mask` -- greedy-with-repair construction of
-  the maximum-score strictly transposable block mask (each row *and*
-  each column keeps at most N entries);
+* :func:`transposable_block_mask` -- maximum-score strictly transposable
+  block mask (each row *and* each column keeps at most N entries);
 * :func:`transposable_mask` -- whole-matrix construction block by block;
 * :func:`transposable_sparsify` -- the NM-T counterpart of Algorithm 1,
   with per-block N chosen from the candidate set.
 
-The construction is the classic greedy algorithm on the bipartite
-degree-constrained subgraph problem: sort candidate entries by score and
-accept an entry when its row and column quotas are still open.  A repair
-pass then fills under-quota rows/columns where possible.
+Mask construction is delegated to the pluggable solver backends in
+:mod:`repro.core.tsolvers` -- ``greedy`` (the historical default),
+``exact`` (min-cost-flow oracle) and ``tsenor`` (batched Sinkhorn/
+Dykstra).  Every entry point takes ``backend=`` and falls back to
+``$REPRO_TSOLVER`` and then ``greedy``; whole-matrix construction hands
+the full block batch to the backend in one call so vectorized solvers
+see the batch dimension.
 """
 
 from __future__ import annotations
@@ -31,7 +33,13 @@ import numpy as np
 
 from .blocks import merge_from_blocks, split_into_blocks
 from .masks import unstructured_mask
-from .patterns import DEFAULT_M, PatternSpec, PatternFamily, nearest_candidate
+from .patterns import (
+    DEFAULT_M,
+    PatternSpec,
+    PatternFamily,
+    nearest_candidates_grid,
+)
+from .tsolvers import solve_block, solve_blocks
 
 __all__ = [
     "is_transposable",
@@ -51,52 +59,34 @@ def is_transposable(mask: np.ndarray, n: int, m: Optional[int] = None) -> bool:
     return bool(mask.sum(axis=0).max(initial=0) <= n and mask.sum(axis=1).max(initial=0) <= n)
 
 
-def transposable_block_mask(scores: np.ndarray, n: int) -> np.ndarray:
+def transposable_block_mask(
+    scores: np.ndarray, n: int, backend: Optional[str] = None
+) -> np.ndarray:
     """Max-score strictly transposable mask of one square block.
 
-    Greedy by descending score with row/column quotas, followed by a
-    repair pass that tops up rows and columns that are both under quota
-    (the greedy solution can strand capacity).  The result always
-    satisfies the 2-D constraint; on ties it is deterministic.
+    ``backend`` selects the :mod:`repro.core.tsolvers` implementation
+    (``greedy`` / ``exact`` / ``tsenor``); the default resolves through
+    ``$REPRO_TSOLVER`` to ``greedy``.  The result always satisfies the
+    2-D constraint and is deterministic on ties.
     """
-    scores = np.abs(np.asarray(scores, dtype=np.float64))
-    if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
-        raise ValueError(f"expected a square block, got {scores.shape}")
-    m = scores.shape[0]
-    if not 0 <= n <= m:
-        raise ValueError(f"N must be in [0, {m}], got {n}")
-    mask = np.zeros((m, m), dtype=bool)
-    if n == 0:
-        return mask
-    if n == m:
-        return np.ones((m, m), dtype=bool)
+    return solve_block(scores, n, backend=backend)
 
-    row_quota = np.full(m, n)
-    col_quota = np.full(m, n)
-    order = np.dstack(np.unravel_index(np.argsort(-scores, axis=None, kind="stable"), scores.shape))[0]
-    deferred = []
-    for i, j in order:
-        if row_quota[i] > 0 and col_quota[j] > 0:
-            mask[i, j] = True
-            row_quota[i] -= 1
-            col_quota[j] -= 1
-        else:
-            deferred.append((i, j))
-    # Repair: greedy can strand quota (row open, all its open columns
-    # taken); one more descending pass over the rejects fixes the easy
-    # cases.
-    for i, j in deferred:
-        if row_quota[i] > 0 and col_quota[j] > 0 and not mask[i, j]:
-            mask[i, j] = True
-            row_quota[i] -= 1
-            col_quota[j] -= 1
-    return mask
+
+def _solve_block_grid(
+    score_blocks: np.ndarray, block_n: np.ndarray, backend: Optional[str]
+) -> np.ndarray:
+    """Solve an ``(n_br, n_bc, m, m)`` block grid as one backend batch."""
+    n_br, n_bc, m, _ = score_blocks.shape
+    batch = score_blocks.reshape(n_br * n_bc, m, m)
+    masks = solve_blocks(batch, np.asarray(block_n).reshape(-1), backend=backend)
+    return masks.reshape(n_br, n_bc, m, m)
 
 
 def transposable_mask(
     scores: np.ndarray,
     n: int,
     m: int = DEFAULT_M,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Whole-matrix strictly transposable N:M mask with fixed ``n``."""
     scores = np.abs(np.asarray(scores, dtype=np.float64))
@@ -104,11 +94,8 @@ def transposable_mask(
         raise ValueError(f"expected a 2-D score matrix, got {scores.shape}")
     rows, cols = scores.shape
     blocks = split_into_blocks(scores, m)
-    n_br, n_bc = blocks.shape[:2]
-    out = np.zeros((n_br, n_bc, m, m), dtype=bool)
-    for br in range(n_br):
-        for bc in range(n_bc):
-            out[br, bc] = transposable_block_mask(blocks[br, bc], n)
+    n_grid = np.full(blocks.shape[:2], n, dtype=np.int64)
+    out = _solve_block_grid(blocks, n_grid, backend)
     return merge_from_blocks(out, rows, cols)
 
 
@@ -117,6 +104,7 @@ def transposable_sparsify(
     m: int = DEFAULT_M,
     sparsity: float = 0.5,
     candidates: Optional[Sequence[int]] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """NM-T with block-adaptive N (the fairest comparison against TBS).
 
@@ -131,13 +119,7 @@ def transposable_sparsify(
     us = unstructured_mask(scores, sparsity)
     score_blocks = split_into_blocks(scores, m)
     density = split_into_blocks(us.astype(np.float64), m).mean(axis=(2, 3))
-    n_br, n_bc = density.shape
-    out = np.zeros((n_br, n_bc, m, m), dtype=bool)
-    block_n = np.zeros((n_br, n_bc), dtype=np.int64)
-    for br in range(n_br):
-        for bc in range(n_bc):
-            n = nearest_candidate(float(density[br, bc]), m, spec.candidates)
-            block_n[br, bc] = n
-            out[br, bc] = transposable_block_mask(score_blocks[br, bc], n)
+    block_n = nearest_candidates_grid(density, m, spec.candidates)
+    out = _solve_block_grid(score_blocks, block_n, backend)
     rows, cols = scores.shape
     return merge_from_blocks(out, rows, cols), block_n

@@ -1,0 +1,110 @@
+"""Pluggable solver backends for strictly-transposable N:M block masks.
+
+The 2-D N:M constraint (every row *and* every column of an ``M x M``
+block keeps at most N entries) is a maximum-weight degree-constrained
+bipartite subgraph problem.  Three backends solve it, trading speed for
+optimality:
+
+* ``greedy`` -- the historical greedy-with-repair heuristic, kept as the
+  default for bit-compatibility, now followed by an augmenting-path
+  repair pass that un-strands quota the simple repair cannot reach.
+* ``exact``  -- min-cost-flow via successive shortest augmenting paths
+  (Dijkstra with Johnson potentials on the bipartite flow network).
+  Provably score-optimal; intended as the small-M quality oracle.
+* ``tsenor`` -- the TSENOR algorithm (Meng, Makni & Mazumder, 2025):
+  entropy-regularized optimal transport with Dykstra-style alternating
+  projections onto the row-sum / column-sum / box constraints, solved
+  **vectorized over whole batches of blocks**, followed by a
+  deterministic rounding step that always yields a valid 2-D N:M mask.
+  Orders of magnitude faster than ``greedy`` at large M, within ~1% of
+  the exact retained score (the CI ``solver`` job gates this).
+
+Backend selection resolves ``explicit argument -> $REPRO_TSOLVER ->
+"greedy"``; every entry point in :mod:`repro.core.transposable`, the
+one-shot pruner and the CLI (``--tsolver``) accepts a backend name.
+Each solve is timed under a ``tsolver.<backend>`` perf stage
+(:mod:`repro.perf.timers`), so backend cost shows up in
+``SimResult.perf_breakdown`` and Chrome traces like any other hot path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_TSOLVER",
+    "TSOLVER_ENV",
+    "TSOLVER_NAMES",
+    "resolve_tsolver",
+    "solve_block",
+    "solve_blocks",
+]
+
+#: Environment variable overriding the default backend.
+TSOLVER_ENV = "REPRO_TSOLVER"
+
+#: Registered backend names, in documentation order.
+TSOLVER_NAMES = ("greedy", "exact", "tsenor")
+
+#: The bit-compatible default.
+DEFAULT_TSOLVER = "greedy"
+
+
+def resolve_tsolver(backend: Optional[str] = None) -> str:
+    """Resolve a backend name: explicit arg -> $REPRO_TSOLVER -> greedy."""
+    name = backend or os.environ.get(TSOLVER_ENV) or DEFAULT_TSOLVER
+    if name not in TSOLVER_NAMES:
+        raise ValueError(f"unknown tsolver {name!r}; choose from {TSOLVER_NAMES}")
+    return name
+
+
+def _validate_block(scores: np.ndarray, n: int) -> np.ndarray:
+    scores = np.abs(np.asarray(scores, dtype=np.float64))
+    if scores.ndim != 2 or scores.shape[0] != scores.shape[1]:
+        raise ValueError(f"expected a square block, got {scores.shape}")
+    m = scores.shape[0]
+    if not 0 <= n <= m:
+        raise ValueError(f"N must be in [0, {m}], got {n}")
+    return scores
+
+
+def solve_block(scores: np.ndarray, n: int, backend: Optional[str] = None) -> np.ndarray:
+    """Max-score strictly transposable mask of one square score block."""
+    scores = _validate_block(scores, n)
+    masks = solve_blocks(scores[None], np.array([n]), backend=backend)
+    return masks[0]
+
+
+def solve_blocks(
+    scores: np.ndarray, n: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
+    """Solve a batch of blocks at once: ``(B, m, m)`` scores, ``(B,)`` N.
+
+    Returns a ``(B, m, m)`` boolean mask batch where every block
+    satisfies the 2-D N:M constraint for its own N.  The batch form is
+    what makes ``tsenor`` fast -- its projections and rounding are
+    vectorized over the whole batch -- while ``greedy``/``exact`` loop
+    block by block.
+    """
+    from ..tsolvers import exact as _exact
+    from ..tsolvers import greedy as _greedy
+    from ..tsolvers import tsenor as _tsenor
+    from ...perf import stage
+
+    name = resolve_tsolver(backend)
+    scores = np.abs(np.asarray(scores, dtype=np.float64))
+    if scores.ndim != 3 or scores.shape[1] != scores.shape[2]:
+        raise ValueError(f"expected a (B, m, m) block batch, got {scores.shape}")
+    m = scores.shape[1]
+    n = np.broadcast_to(np.asarray(n, dtype=np.int64), scores.shape[:1])
+    if n.size and (n.min() < 0 or n.max() > m):
+        raise ValueError(f"N must be in [0, {m}], got range [{n.min()}, {n.max()}]")
+    with stage(f"tsolver.{name}"):
+        if name == "greedy":
+            return _greedy.solve_batch(scores, n)
+        if name == "exact":
+            return _exact.solve_batch(scores, n)
+        return _tsenor.solve_batch(scores, n)

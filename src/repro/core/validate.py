@@ -98,6 +98,9 @@ def validate_mask(
     * ``TBS`` -- every ``M x M`` block satisfies N:M in at least one
       dimension for some candidate N (or exactly the declared direction
       and N when ``tbs`` metadata is supplied).
+    * ``NMT`` -- every ``M x M`` block satisfies N:M in *both*
+      dimensions for some candidate N (the strictly transposable
+      constraint: max row and column occupancy within one candidate).
     """
     mask = np.asarray(mask, dtype=bool)
     if mask.ndim != 2:
@@ -146,6 +149,26 @@ def validate_mask(
                         f"block valid in neither dimension "
                         f"(row counts {sorted(set(row_counts.tolist()))}, "
                         f"col counts {sorted(set(col_counts.tolist()))})",
+                    )
+        return report
+    if spec.family is PatternFamily.NMT:
+        blocks = split_into_blocks(mask.astype(np.int64), m)
+        n_br, n_bc = blocks.shape[:2]
+        max_candidate = max(spec.candidates)
+        for br in range(n_br):
+            for bc in range(n_bc):
+                block = blocks[br, bc]
+                occ = max(
+                    int(block.sum(axis=1).max(initial=0)),
+                    int(block.sum(axis=0).max(initial=0)),
+                )
+                # Strictly transposable: some candidate N must bound the
+                # occupancy of every row AND every column of the block.
+                if occ > max_candidate:
+                    report.add(
+                        (br, bc),
+                        f"block occupancy {occ} exceeds every candidate N "
+                        f"(max {max_candidate})",
                     )
         return report
     raise ValueError(f"unknown family {spec.family}")

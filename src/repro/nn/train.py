@@ -31,6 +31,7 @@ import numpy as np
 from ..core.masks import make_mask, unstructured_mask
 from ..core.patterns import PatternFamily, PatternSpec
 from ..core.sparsify import tbs_sparsify
+from ..core.transposable import transposable_sparsify
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
 from ..obs.state import enabled as _obs_enabled
@@ -70,17 +71,29 @@ class TrainResult:
     watchdog_events: List[Dict[str, Any]] = field(default_factory=list)
 
 
-def _project(scores: np.ndarray, family: PatternFamily, sparsity: float, m: int, ts_cap: Optional[float]):
+def _project(
+    scores: np.ndarray,
+    family: PatternFamily,
+    sparsity: float,
+    m: int,
+    ts_cap: Optional[float],
+    tsolver: Optional[str] = None,
+):
     """Project magnitude scores onto one family: (mask, spec, tbs_meta).
 
     ``ts_cap`` pins the TS family to the STC hardware ratio (4:8 = 50%,
     the paper's Table I footnote); pass ``None`` for an iso-sparsity TS
-    comparison (fixed N = (1-s)*M).
+    comparison (fixed N = (1-s)*M).  ``tsolver`` selects the
+    :mod:`repro.core.tsolvers` backend for the NMT family (greedy /
+    exact / tsenor); other families ignore it.
     """
     sparsity = min(1.0, max(0.0, sparsity))
     if family is PatternFamily.TBS:
         result = tbs_sparsify(scores, m=m, sparsity=sparsity)
         return result.mask, PatternSpec(family, m=m, sparsity=sparsity), result
+    if family is PatternFamily.NMT:
+        mask, _ = transposable_sparsify(scores, m=m, sparsity=sparsity, backend=tsolver)
+        return mask, PatternSpec(family, m=m, sparsity=sparsity), None
     if family is PatternFamily.TS and ts_cap is not None:
         spec = PatternSpec(family, m=m, sparsity=min(sparsity, ts_cap))
         return make_mask(scores, spec), spec, None
@@ -119,6 +132,7 @@ def apply_masks(
     ts_cap: Optional[float] = 0.5,
     global_threshold: bool = False,
     checks: Optional[str] = None,
+    tsolver: Optional[str] = None,
 ) -> float:
     """Regenerate and install masks on every prunable layer.
 
@@ -129,7 +143,8 @@ def apply_masks(
     magnitude threshold over *all* prunable weights sets each layer's
     individual sparsity degree; the default prunes every layer to the
     same target independently.  ``checks`` overrides the global invariant
-    strictness (:mod:`repro.runtime.checks`) for the generated masks.
+    strictness (:mod:`repro.runtime.checks`) for the generated masks;
+    ``tsolver`` picks the transposable-mask backend for the NMT family.
     """
     layers = prunable_layers(model)
     if family is None:
@@ -144,7 +159,7 @@ def apply_masks(
     total = 0
     for i, (layer, layer_sparsity) in enumerate(zip(layers, per_layer)):
         scores = np.abs(layer.weight_matrix())
-        mask, spec, tbs = _project(scores, family, layer_sparsity, m, ts_cap)
+        mask, spec, tbs = _project(scores, family, layer_sparsity, m, ts_cap, tsolver=tsolver)
         check_mask(mask, spec, tbs=tbs, context=f"apply_masks layer {i}", level=checks)
         layer.set_mask(mask)
         kept += int(mask.sum())
@@ -337,20 +352,22 @@ def one_shot_prune(
     m: int = 8,
     ts_cap: Optional[float] = 0.5,
     checks: Optional[str] = None,
+    tsolver: Optional[str] = None,
 ) -> float:
     """One-shot pruning of a trained model (the Table II protocol).
 
     ``score_fn(layer) -> scores`` supplies the criterion (Wanda,
     SparseGPT saliency, ...); default is weight magnitude.  Returns the
     achieved sparsity.  ``checks`` overrides the invariant strictness
-    for the generated masks.
+    for the generated masks; ``tsolver`` picks the transposable-mask
+    backend for the NMT family (wide layers need ``tsenor``).
     """
     layers = prunable_layers(model)
     kept = 0
     total = 0
     for i, layer in enumerate(layers):
         scores = np.abs(layer.weight_matrix()) if score_fn is None else np.abs(score_fn(layer))
-        mask, spec, tbs = _project(scores, family, sparsity, m, ts_cap)
+        mask, spec, tbs = _project(scores, family, sparsity, m, ts_cap, tsolver=tsolver)
         check_mask(mask, spec, tbs=tbs, context=f"one_shot_prune layer {i}", level=checks)
         layer.set_mask(mask)
         kept += int(mask.sum())

@@ -2,9 +2,11 @@
 
 The suite times the simulator's hot paths (micro benches: segment
 derivation, DVPE cost batching, both schedulers, every storage format's
-encode, the codec batch) and two macro paths (one full ``simulate`` call
-and a miniature fig13-style sweep).  Every bench is seeded and
-shape-pinned, so two runs of the same profile do identical work.
+encode, the codec batch), the transposable-mask solver backends
+(``tsolver_{greedy,tsenor}_m{8,32}`` on seeded block batches), and two
+macro paths (one full ``simulate`` call and a miniature fig13-style
+sweep).  Every bench is seeded and shape-pinned, so two runs of the same
+profile do identical work.
 
 Wall times are normalized by a calibration workload (a fixed numpy +
 Python mix timed on the same machine right before the suite), which is
@@ -61,9 +63,18 @@ SCHEMA_VERSION = 1
 #: ``quick`` is the CI gate, ``full`` is for committed baselines and
 #: local investigation.
 PROFILES: Dict[str, Dict[str, int]] = {
-    "smoke": {"rows": 64, "cols": 64, "b_cols": 16, "n_blocks": 128, "reps": 1, "sweep_archs": 2},
-    "quick": {"rows": 192, "cols": 160, "b_cols": 64, "n_blocks": 2048, "reps": 5, "sweep_archs": 3},
-    "full": {"rows": 384, "cols": 320, "b_cols": 128, "n_blocks": 8192, "reps": 5, "sweep_archs": 6},
+    "smoke": {
+        "rows": 64, "cols": 64, "b_cols": 16, "n_blocks": 128, "reps": 1,
+        "sweep_archs": 2, "tsolver_blocks": 16,
+    },
+    "quick": {
+        "rows": 192, "cols": 160, "b_cols": 64, "n_blocks": 2048, "reps": 5,
+        "sweep_archs": 3, "tsolver_blocks": 256,
+    },
+    "full": {
+        "rows": 384, "cols": 320, "b_cols": 128, "n_blocks": 8192, "reps": 5,
+        "sweep_archs": 6, "tsolver_blocks": 256,
+    },
 }
 
 _M = 8
@@ -184,6 +195,41 @@ def _micro_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Cal
     return benches
 
 
+def _tsolver_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Callable[[], None]]]:
+    """Transposable-mask solver speed benches, greedy vs tsenor.
+
+    Same seeded block batches per backend pair, so the committed
+    baseline pins the tsenor-vs-greedy speed ratio: the M=32 pair is the
+    scenario the batched Sinkhorn backend exists for (>= 5x on this
+    shape), the M=8 pair guards the small-block regime where the batch
+    advantage is thinner.  ``exact`` is deliberately absent -- it is the
+    quality oracle (see ``benchmarks/test_tsolver_tradeoff.py``), orders
+    of magnitude slower, and would dominate suite wall time.
+    """
+    from ..core.tsolvers import solve_blocks
+
+    rng = np.random.default_rng(seed)
+    b = max(1, sizes["tsolver_blocks"])
+    batches = {
+        8: np.abs(rng.normal(size=(b * 4, 8, 8))),
+        32: np.abs(rng.normal(size=(b, 32, 32))),
+    }
+    benches: List[Tuple[str, int, Callable[[], None]]] = []
+    for m, blocks in batches.items():
+        n = 3 * m // 8
+        for backend in ("greedy", "tsenor"):
+            benches.append(
+                (
+                    f"tsolver_{backend}_m{m}",
+                    int(blocks.size),
+                    lambda blocks=blocks, n=n, backend=backend: solve_blocks(
+                        blocks, n, backend=backend
+                    ),
+                )
+            )
+    return benches
+
+
 def _macro_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Callable[[], None]]]:
     from ..hw.config import all_baselines
     from ..sim import engine
@@ -216,6 +262,11 @@ def _macro_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Cal
         ("simulate_layer", matrix_cells, _simulate_layer),
         ("sweep_fig13_mini", matrix_cells * len(configs), _sweep),
     ]
+
+
+def _all_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Callable[[], None]]]:
+    """The whole suite, in its canonical order."""
+    return _micro_benches(sizes, seed) + _tsolver_benches(sizes, seed) + _macro_benches(sizes, seed)
 
 
 def _time_bench(
@@ -266,7 +317,7 @@ def _bench_cell(profile: str, seed: int, bench_name: str) -> Dict:
     """
     sizes = PROFILES[profile]
     calibration_s = calibrate()
-    suite = _micro_benches(sizes, seed) + _macro_benches(sizes, seed)
+    suite = _all_benches(sizes, seed)
     for name_, cells, fn in suite:
         if name_ == bench_name:
             break
@@ -306,7 +357,7 @@ def run_suite(
     benches: Dict[str, Dict] = {}
     total = 0.0
     if n_workers > 1:
-        bench_names = [b[0] for b in _micro_benches(sizes, seed) + _macro_benches(sizes, seed)]
+        bench_names = [b[0] for b in _all_benches(sizes, seed)]
         sweep = run_sweep(
             SweepSpec(
                 f"perf-{profile}",
@@ -335,7 +386,7 @@ def run_suite(
         peak_rss = rss
     else:
         calibration_s = calibrate()
-        suite = _micro_benches(sizes, seed) + _macro_benches(sizes, seed)
+        suite = _all_benches(sizes, seed)
         with enabled_scope():
             for bench_name, cells, fn in suite:
                 record, spent = _time_bench(fn, cells, reps, calibration_s)

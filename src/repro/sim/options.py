@@ -50,6 +50,11 @@ class SimOptions:
     fault_seed: int = 0
     #: Raise ``SimStallError`` when modeled cycles exceed this budget.
     cycle_budget: Optional[int] = None
+    #: Transposable-mask solver backend used when the simulated
+    #: workload's masks are (re)built ('greedy' | 'exact' | 'tsenor');
+    #: None defers to ``$REPRO_TSOLVER`` and then 'greedy'.  Inert for
+    #: workloads whose masks were built elsewhere.
+    tsolver: Optional[str] = None
 
     _FAULT_TARGETS = ("values", "indices", "metadata")
 
@@ -64,6 +69,13 @@ class SimOptions:
             )
         if self.cycle_budget is not None and self.cycle_budget < 1:
             raise ValueError(f"cycle_budget must be >= 1, got {self.cycle_budget}")
+        if self.tsolver is not None:
+            from ..core.tsolvers import TSOLVER_NAMES
+
+            if self.tsolver not in TSOLVER_NAMES:
+                raise ValueError(
+                    f"tsolver must be one of {TSOLVER_NAMES} or None, got {self.tsolver!r}"
+                )
 
     def with_(self, **changes: Any) -> "SimOptions":
         """A copy with ``changes`` applied (thin ``dataclasses.replace``)."""
@@ -77,6 +89,7 @@ class SimOptions:
             "fault": self.fault,
             "fault_seed": self.fault_seed,
             "cycle_budget": self.cycle_budget,
+            "tsolver": self.tsolver,
         }
         out["energy_params"] = None if self.energy_params is None else asdict(self.energy_params)
         if self.ecc is None:

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.masks import make_mask
 from ..core.patterns import DEFAULT_M, PatternFamily, PatternSpec
 from ..core.sparsify import TBSResult, tbs_sparsify
+from ..core.transposable import transposable_sparsify
 from .layers import LayerSpec
 
 __all__ = ["GEMMWorkload", "synthetic_weights", "build_workload"]
@@ -127,12 +128,15 @@ def build_workload(
     m: int = DEFAULT_M,
     seed: int = 0,
     scale: int = 1,
+    tsolver: Optional[str] = None,
 ) -> GEMMWorkload:
     """Generate weights for ``layer`` and prune them with ``family``.
 
     ``scale`` downsamples the layer dimensions (see
     :meth:`LayerSpec.scaled`) to keep the Python block-level simulation
-    tractable; ratios between architectures are preserved.
+    tractable; ratios between architectures are preserved.  ``tsolver``
+    picks the :mod:`repro.core.tsolvers` backend for the NMT family
+    (other families ignore it).
 
     Note the STC caveat from the paper (Table I footnote): the TS
     baseline always runs 4:8, so its effective sparsity saturates at 50%.
@@ -144,6 +148,8 @@ def build_workload(
     if family is PatternFamily.TBS:
         tbs = tbs_sparsify(weights, m=m, sparsity=sparsity)
         mask = tbs.mask
+    elif family is PatternFamily.NMT:
+        mask, _ = transposable_sparsify(weights, m=m, sparsity=sparsity, backend=tsolver)
     elif family is PatternFamily.TS:
         # NVIDIA STC supports only the fixed 2:4/4:8 ratio.
         effective = min(sparsity, 0.5)

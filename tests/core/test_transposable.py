@@ -124,3 +124,54 @@ class TestSparsify:
         nmt_mask, _ = transposable_sparsify(scores, m=8, sparsity=0.75)
         tbs = tbs_sparsify(scores, m=8, sparsity=0.75)
         assert mask_agreement(tbs.mask, us) >= mask_agreement(nmt_mask, us)
+
+
+class TestBackendSelection:
+    """``backend=`` threads through every transposable entry point."""
+
+    def test_default_is_greedy_bit_identical(self):
+        scores = _rand((32, 32), 8)
+        default_mask, default_n = transposable_sparsify(scores, m=8, sparsity=0.75)
+        greedy_mask, greedy_n = transposable_sparsify(
+            scores, m=8, sparsity=0.75, backend="greedy"
+        )
+        assert np.array_equal(default_mask, greedy_mask)
+        assert np.array_equal(default_n, greedy_n)
+
+    @pytest.mark.parametrize("backend", ["greedy", "exact", "tsenor"])
+    def test_all_backends_valid(self, backend):
+        scores = _rand((32, 32), 9)
+        mask = transposable_mask(scores, n=2, m=8, backend=backend)
+        for br in range(4):
+            for bc in range(4):
+                block = mask[br * 8 : (br + 1) * 8, bc * 8 : (bc + 1) * 8]
+                assert is_transposable(block, 2)
+        block_mask = transposable_block_mask(scores[:8, :8], 3, backend=backend)
+        assert is_transposable(block_mask, 3)
+
+    @pytest.mark.parametrize("backend", ["greedy", "exact", "tsenor"])
+    def test_sparsify_backends_share_block_n(self, backend):
+        """Per-block N comes from the density heuristic, not the solver:
+        every backend prunes to the same block-N grid."""
+        scores = _rand((32, 32), 10)
+        _, default_n = transposable_sparsify(scores, m=8, sparsity=0.75)
+        mask, block_n = transposable_sparsify(
+            scores, m=8, sparsity=0.75, backend=backend
+        )
+        assert np.array_equal(block_n, default_n)
+        for br in range(4):
+            for bc in range(4):
+                block = mask[br * 8 : (br + 1) * 8, bc * 8 : (bc + 1) * 8]
+                assert is_transposable(block, int(block_n[br, bc]))
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        scores = _rand((16, 16), 11)
+        monkeypatch.setenv("REPRO_TSOLVER", "exact")
+        via_env = transposable_mask(scores, n=2, m=8)
+        monkeypatch.delenv("REPRO_TSOLVER")
+        explicit = transposable_mask(scores, n=2, m=8, backend="exact")
+        assert np.array_equal(via_env, explicit)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown tsolver"):
+            transposable_mask(_rand((8, 8), 12), n=2, m=8, backend="hungarian")

@@ -48,6 +48,11 @@ class TestReport:
         assert main(["report", "fig17"]) == 0
         assert "col" in capsys.readouterr().out
 
+    def test_wide(self, capsys):
+        assert main(["report", "wide", "--scale", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "tsenor_vs_exact" in out and "wide64" in out
+
     def test_rejects_bad_seed_count(self, capsys):
         assert main(["report", "table3", "--seeds", "0"]) == 2
         err = capsys.readouterr().err
@@ -152,6 +157,33 @@ class TestPrune:
         path = tmp_path / "w.npy"
         np.save(path, np.random.default_rng(3).normal(size=(32, 32)))
         assert main(["prune", str(path), "--strict-checks"]) == 0
+
+    def test_nmt_pattern_with_tsolver(self, tmp_path, capsys):
+        from repro.core.patterns import PatternFamily, PatternSpec
+        from repro.core.validate import validate_mask
+
+        path = tmp_path / "w.npy"
+        np.save(path, np.random.default_rng(4).normal(size=(32, 32)))
+        assert main([
+            "prune", str(path), "--pattern", "NMT", "--sparsity", "0.75",
+            "--tsolver", "tsenor",
+        ]) == 0
+        assert "solver tsenor" in capsys.readouterr().out
+        mask = np.load(tmp_path / "w.mask.npy")
+        spec = PatternSpec(PatternFamily.NMT, m=8, sparsity=0.75)
+        assert validate_mask(mask, spec).ok
+
+    def test_nmt_default_solver_is_greedy(self, tmp_path, capsys):
+        path = tmp_path / "w.npy"
+        np.save(path, np.random.default_rng(5).normal(size=(16, 16)))
+        assert main(["prune", str(path), "--pattern", "NMT"]) == 0
+        assert "solver greedy" in capsys.readouterr().out
+
+    def test_rejects_unknown_tsolver(self, tmp_path):
+        path = tmp_path / "w.npy"
+        np.save(path, np.ones((8, 8)))
+        with pytest.raises(SystemExit):
+            main(["prune", str(path), "--pattern", "NMT", "--tsolver", "simplex"])
 
 
 class TestSimulate:
