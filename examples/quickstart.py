@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.analysis import render_table
 from repro.core import pattern_similarity_sweep, tbs_sparsify
-from repro.formats import DDCFormat, compare_formats
+from repro.formats import DDCFormat, EncodeSpec, compare_formats
 from repro.hw import tb_stc, tensor_core
 from repro.sim import simulate, speedup, normalized_edp
 from repro.workloads import LayerSpec, build_workload, synthetic_weights
@@ -32,7 +32,7 @@ def main() -> None:
     # 2. Storage: DDC vs the baseline formats
     # ------------------------------------------------------------------
     sparse = weights * result.mask
-    encoded = DDCFormat().encode(sparse, tbs=result)
+    encoded = DDCFormat().encode(sparse, EncodeSpec(tbs=result))
     assert np.allclose(DDCFormat().decode(encoded), sparse)
     print(f"\nDDC footprint: {encoded.total_bytes} B "
           f"(dense would be {weights.size * 2} B)")

@@ -61,6 +61,7 @@ __all__ = [
     "run_fig4_maskspace",
     "run_fig6_datapath_power",
     "run_fig7_bandwidth",
+    "run_fig7_both_passes",
     "run_fig12_layerwise",
     "run_fig13_end2end",
     "run_fig14_breakdown",
@@ -94,6 +95,7 @@ EXPERIMENTS = (
     "fig4",
     "fig6",
     "fig7",
+    "fig7both",
     "fig12",
     "fig13",
     "fig14",
@@ -145,6 +147,8 @@ def run_experiment(
         return run_fig6_datapath_power()
     if name == "fig7":
         return run_fig7_bandwidth()
+    if name == "fig7both":
+        return run_fig7_both_passes(**sweep)
     if name == "fig12":
         return run_fig12_layerwise(scale=scale)
     if name == "fig13":
@@ -647,6 +651,78 @@ def run_fig7_bandwidth(
         out[f"sparsity={sparsity:.0%}"] = {
             name: rep.bandwidth_utilization for name, rep in reports.items()
         }
+    return out
+
+
+def _fig7both_cell(sparsity: float, seed: int, size: int) -> Dict[str, Dict[str, float]]:
+    """One both-passes grid point: every registered format encoded ONCE,
+    then traced and traffic-analysed in both orientations.
+
+    The transposed ("backward") numbers come from the same encoding --
+    :meth:`EncodedMatrix.trace` derives the transposed walk, so formats
+    whose layouts transpose poorly (CSR's per-element scatter, SDC's
+    per-block-column re-fetch) pay their honest penalty while BCSR-COO's
+    COO side table keeps its payload runs intact.
+    """
+    from ..formats.base import ORIENTATIONS, EncodeSpec
+    from ..formats.memory_model import traffic_report
+    from ..formats.registry import available_formats, get_format
+
+    weights = synthetic_weights(size, size, seed=seed)
+    res = tbs_sparsify(weights, m=8, sparsity=sparsity)
+    sparse = weights * res.mask
+    spec = EncodeSpec(tbs=res, block_size=8)
+    out: Dict[str, Dict[str, float]] = {}
+    for name in available_formats():
+        encoded = get_format(name).encode(sparse, spec)
+        row: Dict[str, float] = {}
+        for orient in ORIENTATIONS:
+            key = "forward" if orient == "forward" else "backward"
+            rep = traffic_report(encoded, orientation=orient)
+            row[f"{key}_util"] = rep.bandwidth_utilization
+            row[f"{key}_traced_bytes"] = float(encoded.traced_bytes_for(orient))
+            row[f"{key}_fetched_bytes"] = float(rep.fetched_bytes)
+        out[name] = row
+    return out
+
+
+def run_fig7_both_passes(
+    sparsities: Sequence[float] = (0.5, 0.75, 0.875),
+    seed: int = 0,
+    size: int = 256,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    options: Optional[SweepOptions] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 7 analogue extended with the backward (transposed) pass.
+
+    One sweep cell per sparsity; each cell encodes every registered
+    format once and reports both consumption orientations, so the table
+    directly shows what the forward/backward duality of TB-STC's
+    transposable masks costs each storage format.
+    """
+    cells = [
+        SweepCell(
+            key=f"sparsity={sparsity}",
+            fn=_fig7both_cell,
+            kwargs={"sparsity": sparsity, "seed": seed, "size": size},
+        )
+        for sparsity in sparsities
+    ]
+    sweep = run_sweep(
+        SweepSpec("fig7both", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        options=options,
+        strict=True,
+    )
+    out: Dict[str, Dict[str, float]] = {}
+    for sparsity in sparsities:
+        cell = sweep.value(f"sparsity={sparsity}")
+        for name, row in cell.items():
+            out[f"sparsity={sparsity:.0%} {name}"] = row
     return out
 
 

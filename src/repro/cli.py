@@ -86,6 +86,7 @@ _EXPERIMENTS = (
     "fig4",
     "fig6",
     "fig7",
+    "fig7both",
     "fig12",
     "fig13",
     "fig14",
@@ -99,6 +100,15 @@ _EXPERIMENTS = (
 #: Transposable-mask solver backends, duplicated from
 #: ``repro.core.tsolvers.TSOLVER_NAMES`` for the same lazy-import reason.
 _TSOLVERS = ("greedy", "exact", "tsenor")
+
+#: Storage formats, duplicated from ``repro.formats.registry
+#: .available_formats()`` for the same lazy-import reason (the sync is
+#: asserted in ``tests/test_cli.py``).
+_FORMAT_NAMES = ("dense", "csr", "sdc", "ddc", "bitmap", "bcsrcoo")
+
+#: Consumption orientations, duplicated from ``repro.formats.base
+#: .ORIENTATIONS`` (same lazy-import reason, same sync test).
+_ORIENTATIONS = ("forward", "transposed")
 
 
 def _add_checks_flags(cmd: argparse.ArgumentParser, help_text: str, default=None) -> None:
@@ -246,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="weight precision in bits (8 halves weight traffic; default: 16)",
     )
     sim.add_argument(
+        "--orientation", default="forward", choices=list(_ORIENTATIONS),
+        help="consumption orientation of the A operand: 'transposed' "
+        "models the backward pass draining the transpose of the same "
+        "stored encoding (default: forward)",
+    )
+    sim.add_argument(
         "--fault", default=None, choices=["values", "indices", "metadata"],
         help="inject one storage-side bitflip into this payload before decode",
     )
@@ -264,7 +280,9 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--trials", type=int, default=30, help="injections per (format, model) cell")
     faults.add_argument(
         "--formats", nargs="+", default=None, metavar="FMT",
-        help="storage formats to stress (default: all five)",
+        choices=list(_FORMAT_NAMES),
+        help=f"storage formats to stress (default: all registered: "
+        f"{', '.join(_FORMAT_NAMES)})",
     )
     faults.add_argument(
         "--models", nargs="+", default=None, metavar="MODEL",
@@ -507,6 +525,8 @@ def _render_report(experiment: str, res) -> None:
         print(res)
     elif experiment == "fig7":
         print(render_dict_table(res, key_header="workload"))
+    elif experiment == "fig7both":
+        print(render_dict_table(res, key_header="sparsity/format"))
     elif experiment == "fig12":
         for layer, table in res.items():
             print(render_dict_table(table, key_header=layer))
@@ -710,6 +730,7 @@ def _run_simulate(args) -> int:
         options = SimOptions(
             weight_bits=args.weight_bits, fault=args.fault,
             fault_seed=args.fault_seed, tsolver=args.tsolver,
+            orientation=args.orientation,
         )
     except ValueError as exc:
         return _fail(str(exc))

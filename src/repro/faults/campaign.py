@@ -39,15 +39,11 @@ import numpy as np
 
 from ..core.patterns import PatternFamily, PatternSpec
 from ..core.sparsify import tbs_sparsify
-from ..formats.base import EncodedMatrix, SparseFormat
+from ..formats.base import EncodedMatrix, EncodeSpec, SparseFormat
+from ..formats.registry import available_formats, format_index, get_format
 from ..obs import metrics as obs_metrics
 from ..obs import tracer as obs_tracer
 from ..obs.state import enabled as _obs_enabled
-from ..formats.bitmap import BitmapFormat
-from ..formats.csr import CSRFormat
-from ..formats.ddc import DDCFormat
-from ..formats.dense import DenseFormat
-from ..formats.sdc import SDCFormat
 from ..hw.dram import TransactionFaultModel, perturb_trace
 from ..runtime.checks import InvariantError, check_mask, get_check_level
 from .ecc import ECCConfig, adjudicate
@@ -88,14 +84,6 @@ FAULT_MODELS = (
     "dram_corrupt",
 )
 
-_FORMATS: Dict[str, type] = {
-    "dense": DenseFormat,
-    "csr": CSRFormat,
-    "sdc": SDCFormat,
-    "ddc": DDCFormat,
-    "bitmap": BitmapFormat,
-}
-
 _MODEL_TARGET = {"value_flip": "values", "index_flip": "indices", "meta_flip": "metadata",
                  "meta_flip_x2": "metadata"}
 
@@ -104,7 +92,7 @@ _MODEL_TARGET = {"value_flip": "values", "index_flip": "indices", "meta_flip": "
 class CampaignSpec:
     """One campaign's shape: what to inject, where, how often."""
 
-    formats: Tuple[str, ...] = tuple(_FORMATS)
+    formats: Tuple[str, ...] = available_formats()
     models: Tuple[str, ...] = FAULT_MODELS
     trials: int = 30
     seed: int = 0
@@ -117,7 +105,7 @@ class CampaignSpec:
 
     def __post_init__(self) -> None:
         for fmt in self.formats:
-            if fmt not in _FORMATS:
+            if fmt not in available_formats():
                 raise ValueError(f"unknown format {fmt!r}")
         for model in self.models:
             if model not in FAULT_MODELS:
@@ -173,7 +161,7 @@ class CampaignResult:
 
 def _trial_rng(spec: CampaignSpec, fmt: str, model: str, trial: int) -> np.random.Generator:
     return np.random.default_rng(
-        [spec.seed, list(_FORMATS).index(fmt), FAULT_MODELS.index(model), trial]
+        [spec.seed, format_index(fmt), FAULT_MODELS.index(model), trial]
     )
 
 
@@ -262,8 +250,8 @@ def _classified(outcome: str) -> str:
 
 def _make_format(name: str, m: int) -> SparseFormat:
     if name == "sdc":
-        return SDCFormat(group_rows=m)  # the hardware row-group variant
-    return _FORMATS[name]()
+        return get_format("sdc", group_rows=m)  # the hardware row-group variant
+    return get_format(name)
 
 
 def run_trial(spec: CampaignSpec, fmt_name: str, model: str, trial: int) -> Optional[str]:
@@ -272,13 +260,14 @@ def run_trial(spec: CampaignSpec, fmt_name: str, model: str, trial: int) -> Opti
     values, tbs, expected = _build_case(spec, rng)
     fmt = _make_format(fmt_name, spec.m)
     pattern_spec = PatternSpec(PatternFamily.TBS, m=spec.m, sparsity=spec.sparsity)
-    tbs_arg = tbs if fmt_name == "ddc" else None
+    tbs_arg = tbs if fmt_name in ("ddc", "bcsrcoo") else None
+    enc_spec = EncodeSpec(tbs=tbs_arg, block_size=spec.m)
 
     if model in _MODEL_TARGET:
         target = _MODEL_TARGET[model]
         if target not in payload_targets(fmt_name):
             return None
-        encoded = fmt.encode(expected, tbs=tbs_arg, block_size=spec.m)
+        encoded = fmt.encode(expected, enc_spec)
         record = inject_payload_bitflips(
             encoded,
             target,
@@ -301,14 +290,14 @@ def run_trial(spec: CampaignSpec, fmt_name: str, model: str, trial: int) -> Opti
             return "benign"  # latent fault: the bit already held that value
         # The TBS metadata no longer matches the corrupted mask, so DDC
         # must re-infer per-block patterns from what it actually sees.
-        encoded = fmt.encode(np.where(faulty_mask, values, 0.0), tbs=None, block_size=spec.m)
+        encoded = fmt.encode(np.where(faulty_mask, values, 0.0), EncodeSpec(block_size=spec.m))
         return classify_decode(
             fmt, encoded, expected, None,
             ecc=None, pattern_spec=pattern_spec, level=spec.check_level,
         )
 
     # DRAM transaction faults: exactly one faulted transaction per trial.
-    encoded = fmt.encode(expected, tbs=tbs_arg, block_size=spec.m)
+    encoded = fmt.encode(expected, enc_spec)
     if not encoded.segments:
         return None
     kind = {"dram_drop": "drop", "dram_dup": "duplicate", "dram_corrupt": "corrupt"}[model]

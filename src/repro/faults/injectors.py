@@ -50,6 +50,11 @@ _TARGET_ARRAYS: Dict[str, Dict[str, Tuple[str, ...]]] = {
     "sdc": {"values": ("values",), "indices": ("indices",), "metadata": ("valid",)},
     "ddc": {"values": ("block_values",), "indices": ("block_indices",), "metadata": ("block_meta",)},
     "bitmap": {"values": ("values",), "indices": (), "metadata": ("bitmap",)},
+    "bcsrcoo": {
+        "values": ("values",),
+        "indices": ("bitmaps",),
+        "metadata": ("row_ptr", "col_idx", "row_idx", "t_order", "block_ptr"),
+    },
 }
 
 #: DDC Info-word field layout: 1b dimension + 3b ratio + 12b offset.

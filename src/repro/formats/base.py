@@ -15,13 +15,23 @@ Every encoder returns an :class:`EncodedMatrix` carrying the storage
 footprint breakdown, the consumption-order trace as address segments, and
 enough arrays to decode the matrix back exactly (used by the round-trip
 tests and by the functional simulator).
+
+Consumption **orientation** is a first-class axis: the forward pass
+drains the matrix block-major, the backward pass drains the *transpose*
+of the same stored bytes.  :meth:`EncodedMatrix.trace` serves either
+orientation from the one encoding -- no format re-encodes for the
+transposed pass; each format's :meth:`SparseFormat.transposed_trace`
+derives the transposed access pattern from the stored layout alone and
+pays whatever fragmentation or re-fetch cost that layout implies.
 """
 
 from __future__ import annotations
 
 import abc
+import sys
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -33,6 +43,11 @@ CSR_INDEX_BYTES = 2
 CSR_PTR_BYTES = 4
 #: DDC per-block Info-table entry: 1b dim + 3b ratio + 12b offset = 16 bits.
 DDC_INFO_BYTES = 2
+
+#: Valid consumption orientations: ``forward`` drains the stored matrix
+#: block-major; ``transposed`` drains its transpose (the backward pass).
+ORIENTATIONS: Tuple[str, ...] = ("forward", "transposed")
+DEFAULT_ORIENTATION = "forward"
 
 
 @dataclass(frozen=True)
@@ -51,6 +66,46 @@ class Segment:
         return self.addr + self.nbytes
 
 
+@dataclass(frozen=True, eq=False)
+class EncodeSpec:
+    """Every non-``values`` knob of one :meth:`SparseFormat.encode` call.
+
+    Replaces the old ``encode(values, mask=None, tbs=None, block_size=8)``
+    kwarg tail with one immutable value object, mirroring the
+    ``SimOptions`` migration: pass ``EncodeSpec(...)`` as the second
+    argument; the legacy kwargs still work through a shim that warns once
+    per call-site.
+
+    ``orientation`` records the *primary* consumption orientation the
+    encoding will be traced in; either orientation can still be requested
+    later via :meth:`EncodedMatrix.trace`.
+    """
+
+    #: Boolean keep-mask applied to ``values`` (None = values are final).
+    mask: Optional[np.ndarray] = None
+    #: :class:`~repro.core.sparsify.TBSResult` when the matrix carries TBS
+    #: metadata -- required by DDC, ignored by the baseline formats.
+    tbs: object = None
+    #: Block granularity of the consumption trace (the PE array's M).
+    block_size: int = 8
+    #: Primary consumption orientation ('forward' | 'transposed').
+    orientation: str = DEFAULT_ORIENTATION
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {self.block_size}")
+        if self.orientation not in ORIENTATIONS:
+            raise ValueError(
+                f"orientation must be one of {ORIENTATIONS}, got {self.orientation!r}"
+            )
+
+    @property
+    def effective_block_size(self) -> int:
+        """Trace granularity: the TBS block edge when TBS metadata exists."""
+        m = getattr(self.tbs, "m", None)
+        return int(m) if m else self.block_size
+
+
 @dataclass
 class EncodedMatrix:
     """A sparse matrix in one storage format.
@@ -58,7 +113,8 @@ class EncodedMatrix:
     Attributes
     ----------
     format_name:
-        Short identifier ("dense", "csr", "sdc", "ddc").
+        Short identifier ("dense", "csr", "sdc", "ddc", "bitmap",
+        "bcsrcoo").
     shape:
         Logical (rows, cols) of the original matrix.
     nnz:
@@ -66,10 +122,16 @@ class EncodedMatrix:
     value_bytes / index_bytes / meta_bytes:
         Storage footprint breakdown.
     segments:
-        Consumption-order access trace (block-major, matching how the PE
-        array drains the matrix).
+        Forward (block-major) consumption-order access trace, matching
+        how the PE array drains the matrix.  Use :meth:`trace` to obtain
+        the trace for either orientation.
     arrays:
         Format-specific payload arrays, sufficient for exact decode.
+    orientation:
+        The primary orientation this matrix was encoded for (from the
+        :class:`EncodeSpec`); :meth:`trace` defaults to it.
+    block_size:
+        Trace block granularity the encoder used.
     """
 
     format_name: str
@@ -80,6 +142,11 @@ class EncodedMatrix:
     meta_bytes: int
     segments: List[Segment] = field(default_factory=list)
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    orientation: str = DEFAULT_ORIENTATION
+    block_size: int = 8
+    #: Lazily-built transposed-orientation trace (cached; derived from the
+    #: stored layout by the owning format -- never by re-encoding).
+    transposed_segments: Optional[List[Segment]] = None
 
     @property
     def total_bytes(self) -> int:
@@ -92,32 +159,121 @@ class EncodedMatrix:
 
     @property
     def traced_bytes(self) -> int:
+        """Total bytes of the forward consumption trace."""
         return sum(seg.nbytes for seg in self.segments)
+
+    def trace(self, orientation: Optional[str] = None) -> List[Segment]:
+        """Access trace for ``orientation`` (default: the encoded one).
+
+        The transposed trace is derived once from the stored layout via
+        the registered format's :meth:`SparseFormat.transposed_trace` and
+        cached -- requesting it never re-encodes the matrix.
+        """
+        if orientation is None:
+            orientation = self.orientation
+        if orientation not in ORIENTATIONS:
+            raise ValueError(
+                f"orientation must be one of {ORIENTATIONS}, got {orientation!r}"
+            )
+        if orientation == "forward":
+            return self.segments
+        if self.transposed_segments is None:
+            from .registry import get_format
+
+            self.transposed_segments = get_format(self.format_name).transposed_trace(self)
+        return self.transposed_segments
+
+    def traced_bytes_for(self, orientation: Optional[str] = None) -> int:
+        """Total bytes of the trace for ``orientation``."""
+        return sum(seg.nbytes for seg in self.trace(orientation))
+
+
+#: Call-sites (file, line) that already received the legacy-kwargs warning.
+_LEGACY_ENCODE_WARNED_SITES: Set[Tuple[str, int]] = set()
+_LEGACY_ENCODE_KWARGS = ("mask", "tbs", "block_size")
 
 
 class SparseFormat(abc.ABC):
-    """Interface implemented by every storage format."""
+    """Interface implemented by every storage format.
+
+    Subclasses implement :meth:`_encode` (and may override
+    :meth:`transposed_trace` / :meth:`decode_transposed`); callers use
+    the public :meth:`encode`, which accepts an :class:`EncodeSpec`.
+    """
 
     name: str = "abstract"
 
-    @abc.abstractmethod
     def encode(
         self,
         values: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-        tbs=None,
-        block_size: int = 8,
+        spec: Optional[EncodeSpec] = None,
+        **legacy,
     ) -> EncodedMatrix:
-        """Encode ``values`` (zeros already applied or given via ``mask``).
+        """Encode ``values`` per ``spec`` (an :class:`EncodeSpec`).
 
-        ``tbs`` is the :class:`~repro.core.sparsify.TBSResult` when the
-        matrix carries TBS metadata -- required by DDC, ignored by the
-        baseline formats.
+        Zeros are either already applied to ``values`` or given via
+        ``spec.mask``.  The legacy ``encode(values, mask=..., tbs=...,
+        block_size=...)`` spelling still works through a deprecation shim
+        that warns once per call-site.
         """
+        if legacy or (spec is not None and not isinstance(spec, EncodeSpec)):
+            spec = self._coerce_legacy(spec, legacy)
+        elif spec is None:
+            spec = EncodeSpec()
+        encoded = self._encode(values, spec)
+        encoded.orientation = spec.orientation
+        encoded.block_size = spec.effective_block_size
+        return encoded
+
+    @staticmethod
+    def _coerce_legacy(mask_positional, legacy) -> EncodeSpec:
+        for key in legacy:
+            if key not in _LEGACY_ENCODE_KWARGS:
+                raise TypeError(f"encode() got an unexpected keyword argument {key!r}")
+        if mask_positional is not None:
+            if "mask" in legacy:
+                raise TypeError("encode() got multiple values for argument 'mask'")
+            legacy = dict(legacy, mask=mask_positional)
+        caller = sys._getframe(2)
+        site = (caller.f_code.co_filename, caller.f_lineno)
+        if site not in _LEGACY_ENCODE_WARNED_SITES:
+            _LEGACY_ENCODE_WARNED_SITES.add(site)
+            warnings.warn(
+                "passing mask/tbs/block_size keywords to SparseFormat.encode() is "
+                "deprecated; pass an EncodeSpec instead: "
+                "fmt.encode(values, EncodeSpec(mask=..., tbs=..., block_size=...))",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return EncodeSpec(**legacy)
+
+    @abc.abstractmethod
+    def _encode(self, values: np.ndarray, spec: EncodeSpec) -> EncodedMatrix:
+        """Format-specific encode; ``spec`` is always a full EncodeSpec."""
 
     @abc.abstractmethod
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:
         """Exact inverse of :meth:`encode`."""
+
+    def decode_transposed(self, encoded: EncodedMatrix) -> np.ndarray:
+        """Decode the matrix as consumed in the transposed orientation.
+
+        Defaults to ``decode(encoded).T``; formats with a native
+        transpose path (BCSR-COO's COO index walk) override it.
+        """
+        return self.decode(encoded).T
+
+    def transposed_trace(self, encoded: EncodedMatrix) -> List[Segment]:
+        """Transposed-orientation access trace, derived from ``encoded``.
+
+        Implementations must read only ``encoded`` (its arrays, footprint
+        and forward trace) -- never re-encode -- so any
+        :class:`EncodedMatrix` of this format, however obtained, can be
+        traced in either orientation.
+        """
+        raise NotImplementedError(
+            f"format {self.name!r} does not implement a transposed trace"
+        )
 
 
 def apply_mask(values: np.ndarray, mask: Optional[np.ndarray]) -> np.ndarray:

@@ -1,0 +1,207 @@
+"""Blocked-CSR-COO hybrid -- one encoding, both consumption orientations.
+
+The stk/MegaBlocks line of work stores a block-sparse matrix as blocked
+CSR (row-pointer over block rows, per-block column index, contiguous
+per-block payloads) and adds two COO-style side tables at encode time:
+the explicit block-*row* index of every block and a precomputed
+permutation of the blocks sorted by (block column, block row).  The CSR
+structure serves the forward (block-row-major) product; the permutation
+serves the transposed product by walking the *same stored payloads* in
+block-column-major order -- no transposed copy, no re-encode.
+
+Per-block payload here is a packed occupancy bitmap (``ceil(m*m/8)``
+bytes) followed by the block's non-zero values row-major, so each block
+is one contiguous run in either orientation.  The price of
+transposability is the COO side tables (a few bytes per block) and the
+loss of forward-stream perfection: the transposed walk visits payload
+runs out of address order, so it fragments into one burst run per block
+instead of one stream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..perf import timed
+from .base import (
+    CSR_PTR_BYTES,
+    VALUE_BYTES,
+    EncodedMatrix,
+    EncodeSpec,
+    Segment,
+    SparseFormat,
+    apply_mask,
+)
+
+__all__ = ["BCSRCOOFormat"]
+
+#: Per-block COO/CSR side-table entry: 16-bit block column + 16-bit block
+#: row + 16-bit transpose-permutation slot + 32-bit payload offset.
+BCSRCOO_BLOCK_META_BYTES = 2 + 2 + 2 + 4
+
+
+class BCSRCOOFormat(SparseFormat):
+    """Blocked CSR with a COO transpose index built once at encode time."""
+
+    name = "bcsrcoo"
+
+    @timed("formats.bcsrcoo.encode")
+    def _encode(self, values: np.ndarray, spec: EncodeSpec) -> EncodedMatrix:
+        dense = apply_mask(values, spec.mask)
+        rows, cols = dense.shape
+        m = spec.effective_block_size
+        n_block_rows = -(-rows // m) if rows else 0
+        n_block_cols = -(-cols // m) if cols else 0
+
+        row_idx: List[int] = []
+        col_idx: List[int] = []
+        bitmaps: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        block_nnz: List[int] = []
+        row_ptr = np.zeros(n_block_rows + 1, dtype=np.int64)
+        for br in range(n_block_rows):
+            for bc in range(n_block_cols):
+                tile = dense[br * m : (br + 1) * m, bc * m : (bc + 1) * m]
+                occ = tile != 0.0
+                count = int(np.count_nonzero(occ))
+                if count == 0:
+                    continue
+                bitmap = np.zeros((m, m), dtype=bool)
+                bitmap[: occ.shape[0], : occ.shape[1]] = occ
+                row_idx.append(br)
+                col_idx.append(bc)
+                bitmaps.append(bitmap)
+                val_parts.append(tile[occ])  # row-major within the block
+                block_nnz.append(count)
+            row_ptr[br + 1] = len(row_idx)
+
+        nblk = len(row_idx)
+        row_idx_arr = np.asarray(row_idx, dtype=np.int64)
+        col_idx_arr = np.asarray(col_idx, dtype=np.int64)
+        nnz_arr = np.asarray(block_nnz, dtype=np.int64)
+        block_ptr = np.zeros(nblk + 1, dtype=np.int64)
+        np.cumsum(nnz_arr, out=block_ptr[1:])
+        vals = np.concatenate(val_parts) if val_parts else np.zeros(0)
+        bitmap_arr = (
+            np.stack(bitmaps) if bitmaps else np.zeros((0, m, m), dtype=bool)
+        )
+        # The COO transpose permutation: stored blocks reordered by
+        # (block column, block row).  Built once, here; the transposed
+        # trace and decode walk it without ever re-encoding.
+        t_order = (
+            np.lexsort((row_idx_arr, col_idx_arr)) if nblk else np.zeros(0, dtype=np.int64)
+        )
+
+        nnz = int(nnz_arr.sum())
+        bitmap_block_bytes = int(math.ceil(m * m / 8.0))
+        value_bytes = nnz * VALUE_BYTES
+        index_bytes = nblk * bitmap_block_bytes
+        meta_bytes = (n_block_rows + 1) * CSR_PTR_BYTES + nblk * BCSRCOO_BLOCK_META_BYTES
+
+        # Byte layout: side tables first, then per-block payloads
+        # (bitmap + values) back to back in stored (forward) order.
+        segments: List[Segment] = []
+        if meta_bytes:
+            segments.append(Segment(0, meta_bytes))
+        addr = meta_bytes
+        for b in range(nblk):
+            nbytes = bitmap_block_bytes + int(nnz_arr[b]) * VALUE_BYTES
+            segments.append(Segment(addr, nbytes))
+            addr += nbytes
+
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=(rows, cols),
+            nnz=nnz,
+            value_bytes=value_bytes,
+            index_bytes=index_bytes,
+            meta_bytes=meta_bytes,
+            segments=segments,
+            arrays={
+                "row_ptr": row_ptr,
+                "row_idx": row_idx_arr,
+                "col_idx": col_idx_arr,
+                "block_ptr": block_ptr,
+                "t_order": t_order,
+                "bitmaps": bitmap_arr,
+                "values": vals,
+                "m": np.array(m),
+            },
+        )
+
+    def _block_byte_offsets(self, encoded: EncodedMatrix) -> np.ndarray:
+        """Byte address of each stored block's payload run."""
+        m = int(encoded.arrays["m"])
+        block_ptr = encoded.arrays["block_ptr"]
+        bitmap_block_bytes = int(math.ceil(m * m / 8.0))
+        nnz_per_block = np.diff(block_ptr)
+        blk_bytes = bitmap_block_bytes + nnz_per_block * VALUE_BYTES
+        offsets = np.zeros(blk_bytes.size + 1, dtype=np.int64)
+        np.cumsum(blk_bytes, out=offsets[1:])
+        return encoded.meta_bytes + offsets
+
+    def transposed_trace(self, encoded: EncodedMatrix) -> List[Segment]:
+        """Side tables, then the stored payload runs walked in ``t_order``.
+
+        Same blocks, same bytes as the forward stream -- only the
+        inter-block order changes, following the precomputed COO
+        transpose permutation.  Each block stays one contiguous run, so
+        the transposed pass costs one burst run per block rather than
+        CSR's one fragment per element.
+        """
+        t_order = encoded.arrays["t_order"]
+        offsets = self._block_byte_offsets(encoded)
+        segments: List[Segment] = []
+        if encoded.meta_bytes:
+            segments.append(Segment(0, encoded.meta_bytes))
+        for b in t_order:
+            b = int(b)
+            segments.append(Segment(int(offsets[b]), int(offsets[b + 1] - offsets[b])))
+        return segments
+
+    @timed("formats.bcsrcoo.decode")
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        rows, cols = encoded.shape
+        m = int(encoded.arrays["m"])
+        dense = np.zeros((rows, cols))
+        row_idx = encoded.arrays["row_idx"]
+        col_idx = encoded.arrays["col_idx"]
+        block_ptr = encoded.arrays["block_ptr"]
+        bitmaps = encoded.arrays["bitmaps"]
+        vals = encoded.arrays["values"]
+        for b in range(row_idx.size):
+            r0, c0 = int(row_idx[b]) * m, int(col_idx[b]) * m
+            h, w = min(m, rows - r0), min(m, cols - c0)
+            occ = bitmaps[b][:h, :w]
+            tile = np.zeros((h, w))
+            tile[occ] = vals[int(block_ptr[b]) : int(block_ptr[b + 1])]
+            dense[r0 : r0 + h, c0 : c0 + w] = tile
+        return dense
+
+    def decode_transposed(self, encoded: EncodedMatrix) -> np.ndarray:
+        """Native transposed decode: scatter blocks along ``t_order``.
+
+        Walks the stored payloads exactly as the transposed consumer
+        would -- per-block transpose of the bitmap scatter -- without
+        materialising the forward matrix first (and without re-encoding).
+        """
+        rows, cols = encoded.shape
+        m = int(encoded.arrays["m"])
+        out = np.zeros((cols, rows))
+        row_idx = encoded.arrays["row_idx"]
+        col_idx = encoded.arrays["col_idx"]
+        block_ptr = encoded.arrays["block_ptr"]
+        bitmaps = encoded.arrays["bitmaps"]
+        vals = encoded.arrays["values"]
+        for b in encoded.arrays["t_order"]:
+            b = int(b)
+            r0, c0 = int(row_idx[b]) * m, int(col_idx[b]) * m
+            h, w = min(m, rows - r0), min(m, cols - c0)
+            occ = bitmaps[b][:h, :w]
+            tile = np.zeros((h, w))
+            tile[occ] = vals[int(block_ptr[b]) : int(block_ptr[b + 1])]
+            out[c0 : c0 + w, r0 : r0 + h] = tile.T
+        return out

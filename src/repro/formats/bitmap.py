@@ -11,12 +11,12 @@ model via ``datapath_energy_scale``).
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import List
 
 import numpy as np
 
 from ..perf import timed
-from .base import VALUE_BYTES, EncodedMatrix, Segment, SparseFormat, apply_mask
+from .base import VALUE_BYTES, EncodedMatrix, EncodeSpec, Segment, SparseFormat, apply_mask
 
 
 class BitmapFormat(SparseFormat):
@@ -25,14 +25,8 @@ class BitmapFormat(SparseFormat):
     name = "bitmap"
 
     @timed("formats.bitmap.encode")
-    def encode(
-        self,
-        values: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-        tbs=None,
-        block_size: int = 8,
-    ) -> EncodedMatrix:
-        dense = apply_mask(values, mask)
+    def _encode(self, values: np.ndarray, spec: EncodeSpec) -> EncodedMatrix:
+        dense = apply_mask(values, spec.mask)
         rows, cols = dense.shape
         occupancy = dense != 0.0
         nz_values = dense[occupancy]
@@ -54,6 +48,31 @@ class BitmapFormat(SparseFormat):
             segments=segments,
             arrays={"bitmap": occupancy, "values": nz_values},
         )
+
+    def transposed_trace(self, encoded: EncodedMatrix) -> List[Segment]:
+        """Transposed reads: bitmap stream, then per-element value picks.
+
+        The bitmap itself is orientation-agnostic (it streams whole
+        either way), but the packed value stream is ordered by the
+        *stored* row-major rank, so consuming the transpose turns it into
+        one 2-byte gather per non-zero, ordered by the transposed
+        block-major walk.
+        """
+        occupancy = encoded.arrays["bitmap"]
+        bitmap_bytes = encoded.meta_bytes
+        segments: List[Segment] = []
+        if bitmap_bytes:
+            segments.append(Segment(0, bitmap_bytes))
+        r, c = np.nonzero(occupancy)
+        if r.size == 0:
+            return segments
+        bs = encoded.block_size
+        ranks = np.arange(r.size, dtype=np.int64)  # np.nonzero is row-major = pack order
+        order = np.lexsort((r, c, r // bs, c // bs))
+        segments.extend(
+            Segment(bitmap_bytes + int(rank) * VALUE_BYTES, VALUE_BYTES) for rank in ranks[order]
+        )
+        return segments
 
     @timed("formats.bitmap.decode")
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:

@@ -10,7 +10,7 @@ effective bandwidth drops below 38.2%.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from .base import (
     CSR_PTR_BYTES,
     VALUE_BYTES,
     EncodedMatrix,
+    EncodeSpec,
     Segment,
     SparseFormat,
     apply_mask,
@@ -33,13 +34,8 @@ class CSRFormat(SparseFormat):
     name = "csr"
 
     @timed("formats.csr.encode")
-    def encode(
-        self,
-        values: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-        tbs=None,
-        block_size: int = 8,
-    ) -> EncodedMatrix:
+    def _encode(self, values: np.ndarray, spec: EncodeSpec) -> EncodedMatrix:
+        mask, block_size = spec.mask, spec.effective_block_size
         dense = apply_mask(values, mask)
         rows, cols = dense.shape
 
@@ -132,6 +128,30 @@ class CSRFormat(SparseFormat):
         for i in order:
             segments.append(Segment(int(starts[i]) * elem_bytes, int(counts[i]) * elem_bytes))
         return segments
+
+    def transposed_trace(self, encoded: EncodedMatrix) -> List[Segment]:
+        """Reads issued when draining the *transpose* block by block.
+
+        CSR is laid out along rows of the stored matrix, but the
+        transposed pass consumes along its columns: consecutive elements
+        of one transposed row live one whole CSR row apart.  Every
+        element therefore becomes its own 4-byte segment -- the scattered
+        -column penalty that makes CSR the worst backward-pass citizen.
+        """
+        row_ptr = encoded.arrays["row_ptr"]
+        col_idx = encoded.arrays["col_idx"]
+        rows, _ = encoded.shape
+        block_size = encoded.block_size
+        n = int(col_idx.size)
+        if n == 0:
+            return []
+        elem_bytes = VALUE_BYTES + CSR_INDEX_BYTES
+        r_idx = np.repeat(np.arange(rows, dtype=np.int64), np.diff(row_ptr))
+        # Transposed block-major emission: outer key is the stored
+        # block-column (= transposed block-row), then the stored
+        # block-row, then column (= transposed row), then row.
+        order = np.lexsort((r_idx, col_idx, r_idx // block_size, col_idx // block_size))
+        return [Segment(int(i) * elem_bytes, elem_bytes) for i in order]
 
     @timed("formats.csr.decode")
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:

@@ -19,7 +19,7 @@ from.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from .base import (
     DDC_INFO_BYTES,
     VALUE_BYTES,
     EncodedMatrix,
+    EncodeSpec,
     Segment,
     SparseFormat,
     apply_mask,
@@ -78,16 +79,11 @@ class DDCFormat(SparseFormat):
     name = "ddc"
 
     @timed("formats.ddc.encode")
-    def encode(
-        self,
-        values: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-        tbs=None,
-        block_size: int = 8,
-    ) -> EncodedMatrix:
+    def _encode(self, values: np.ndarray, spec: EncodeSpec) -> EncodedMatrix:
+        mask, tbs = spec.mask, spec.tbs
         dense = apply_mask(values, mask)
         rows, cols = dense.shape
-        m = tbs.m if tbs is not None else block_size
+        m = spec.effective_block_size
 
         block_meta: List[dict] = []
         payload_vals: List[np.ndarray] = []
@@ -221,6 +217,32 @@ class DDCFormat(SparseFormat):
                 "m": np.array(m),
             },
         )
+
+    def transposed_trace(self, encoded: EncodedMatrix) -> List[Segment]:
+        """Transposed reads: Info table, then payloads in block-column order.
+
+        Each block's payload stays one contiguous run either way -- the
+        per-block direction bit means the intra-block layout is already
+        defined along whichever dimension the consumer needs, so
+        transposing only permutes the *inter-block* walk (block columns
+        become block rows).  The direction bit changes which codec path
+        expands the run, not how many bytes travel.
+        """
+        m = int(encoded.arrays["m"])
+        metas = encoded.arrays["block_meta"]
+        info_bytes = encoded.meta_bytes
+        segments: List[Segment] = []
+        if info_bytes:
+            segments.append(Segment(0, info_bytes))
+        payload_base = info_bytes
+        order = sorted(range(len(metas)), key=lambda i: (metas[i]["col"], metas[i]["row"]))
+        for i in order:
+            meta = metas[i]
+            count = m * int(meta["n"])
+            nbytes = count * VALUE_BYTES + _index_bytes(count, m)
+            if nbytes:
+                segments.append(Segment(payload_base + int(meta["offset"]), nbytes))
+        return segments
 
     @timed("formats.ddc.decode")
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:

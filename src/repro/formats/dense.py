@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List
 
 import numpy as np
 
-from .base import VALUE_BYTES, EncodedMatrix, Segment, SparseFormat, apply_mask
+from .base import VALUE_BYTES, EncodedMatrix, EncodeSpec, Segment, SparseFormat, apply_mask
 
 
 class DenseFormat(SparseFormat):
@@ -19,14 +19,8 @@ class DenseFormat(SparseFormat):
 
     name = "dense"
 
-    def encode(
-        self,
-        values: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-        tbs=None,
-        block_size: int = 8,
-    ) -> EncodedMatrix:
-        dense = apply_mask(values, mask)
+    def _encode(self, values: np.ndarray, spec: EncodeSpec) -> EncodedMatrix:
+        dense = apply_mask(values, spec.mask)
         rows, cols = dense.shape
         nbytes = rows * cols * VALUE_BYTES
         # One streaming segment: the whole matrix, row-major.
@@ -41,6 +35,25 @@ class DenseFormat(SparseFormat):
             segments=segments,
             arrays={"dense": dense.copy()},
         )
+
+    def transposed_trace(self, encoded: EncodedMatrix) -> List[Segment]:
+        """Column-block-major reads of the row-major layout.
+
+        Same total bytes as the forward stream, but the transposed pass
+        walks block columns, so each block contributes one short segment
+        per row instead of one whole-matrix stream -- row-major dense
+        fragments badly when consumed sideways.
+        """
+        rows, cols = encoded.shape
+        if rows == 0 or cols == 0:
+            return []
+        bs = encoded.block_size
+        segments: List[Segment] = []
+        for c0 in range(0, cols, bs):
+            width = min(bs, cols - c0)
+            for r in range(rows):
+                segments.append(Segment((r * cols + c0) * VALUE_BYTES, width * VALUE_BYTES))
+        return segments
 
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:
         return encoded.arrays["dense"].copy()

@@ -26,9 +26,15 @@ from typing import Dict, Iterable, Optional
 
 import numpy as np
 
-from .base import DDC_INFO_BYTES, VALUE_BYTES, EncodedMatrix, merge_contiguous
+from .base import DDC_INFO_BYTES, VALUE_BYTES, EncodedMatrix, EncodeSpec, merge_contiguous
 
-__all__ = ["TrafficReport", "traffic_report", "compare_formats", "useful_bytes_floor"]
+__all__ = [
+    "TrafficReport",
+    "traffic_report",
+    "compare_formats",
+    "compare_formats_both",
+    "useful_bytes_floor",
+]
 
 #: Default DRAM burst (minimum transfer) granularity in bytes.
 DEFAULT_BURST_BYTES = 32
@@ -80,7 +86,17 @@ def useful_bytes_floor(encoded: EncodedMatrix, m: int = 8) -> int:
 #: inter-block scheduler exploits the locality of *consecutive* blocks
 #: (Sec. VI-B1), so short runs of block payloads fuse; CSR's fragments
 #: land at unrelated addresses, so nothing fuses.
-_MERGE_WINDOW = {"dense": None, "sdc": None, "ddc": 8, "csr": 1, "bitmap": None}
+_MERGE_WINDOW = {
+    "dense": None,
+    "sdc": None,
+    "ddc": 8,
+    "csr": 1,
+    "bitmap": None,
+    # BCSR-COO payloads are back to back: the forward walk fuses into one
+    # stream, and the transposed walk fuses wherever t_order happens to
+    # visit address-adjacent blocks.
+    "bcsrcoo": None,
+}
 
 
 def _merge_with_window(segments, window):
@@ -105,8 +121,14 @@ def traffic_report(
     burst_bytes: int = DEFAULT_BURST_BYTES,
     m: int = 8,
     ecc=None,
+    orientation: Optional[str] = None,
 ) -> TrafficReport:
     """Analyse one encoded matrix's consumption trace.
+
+    ``orientation`` selects which pass's trace is analysed ('forward' |
+    'transposed'); ``None`` uses the matrix's encoded orientation.  The
+    transposed trace is derived from the same encoding -- nothing is
+    re-encoded.
 
     ``ecc`` (an :class:`repro.faults.ecc.ECCConfig`) charges the
     metadata check bits as extra fetched traffic: protection is not
@@ -116,7 +138,7 @@ def traffic_report(
     if burst_bytes < 1:
         raise ValueError(f"burst_bytes must be positive, got {burst_bytes}")
     window = _MERGE_WINDOW.get(encoded.format_name)
-    merged = _merge_with_window(encoded.segments, window)
+    merged = _merge_with_window(encoded.trace(orientation), window)
     num_bursts = 0
     fetched = 0
     for seg in merged:
@@ -147,6 +169,13 @@ def traffic_report(
     )
 
 
+def _default_formats() -> list:
+    """One instance of every registered format, in registry order."""
+    from .registry import available_formats, get_format
+
+    return [get_format(name) for name in available_formats()]
+
+
 def compare_formats(
     values: np.ndarray,
     mask: Optional[np.ndarray] = None,
@@ -154,22 +183,54 @@ def compare_formats(
     block_size: int = 8,
     burst_bytes: int = DEFAULT_BURST_BYTES,
     formats: Optional[Iterable] = None,
+    orientation: Optional[str] = None,
 ) -> Dict[str, TrafficReport]:
     """Encode one matrix in every format and report per-format traffic.
 
     This is the experiment behind Fig. 7 and the 1.47x claim: encode a
-    TBS-pruned matrix as SDC, CSR and DDC and compare bandwidth
-    utilization.
+    TBS-pruned matrix in every registered format and compare bandwidth
+    utilization.  ``orientation`` analyses the forward (default) or
+    transposed consumption trace of the same encodings.
     """
     if formats is None:
-        from .csr import CSRFormat
-        from .ddc import DDCFormat
-        from .dense import DenseFormat
-        from .sdc import SDCFormat
-
-        formats = [DenseFormat(), CSRFormat(), SDCFormat(), DDCFormat()]
+        formats = _default_formats()
+    spec = EncodeSpec(mask=mask, tbs=tbs, block_size=block_size)
     reports: Dict[str, TrafficReport] = {}
     for fmt in formats:
-        encoded = fmt.encode(values, mask=mask, tbs=tbs, block_size=block_size)
-        reports[fmt.name] = traffic_report(encoded, burst_bytes=burst_bytes, m=block_size)
+        encoded = fmt.encode(values, spec)
+        reports[fmt.name] = traffic_report(
+            encoded, burst_bytes=burst_bytes, m=block_size, orientation=orientation
+        )
+    return reports
+
+
+def compare_formats_both(
+    values: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    tbs=None,
+    block_size: int = 8,
+    burst_bytes: int = DEFAULT_BURST_BYTES,
+    formats: Optional[Iterable] = None,
+) -> Dict[str, Dict[str, TrafficReport]]:
+    """Per-format traffic for *both* orientations from a single encode.
+
+    Every format is encoded exactly once; the forward and transposed
+    reports both analyse that one encoding (the transposed trace is
+    derived, never re-encoded).  Returns
+    ``{format: {orientation: TrafficReport}}``.
+    """
+    from .base import ORIENTATIONS
+
+    if formats is None:
+        formats = _default_formats()
+    spec = EncodeSpec(mask=mask, tbs=tbs, block_size=block_size)
+    reports: Dict[str, Dict[str, TrafficReport]] = {}
+    for fmt in formats:
+        encoded = fmt.encode(values, spec)
+        reports[fmt.name] = {
+            orient: traffic_report(
+                encoded, burst_bytes=burst_bytes, m=block_size, orientation=orient
+            )
+            for orient in ORIENTATIONS
+        }
     return reports

@@ -17,6 +17,7 @@ from ..perf import timed, use_reference_impl
 from .base import (
     VALUE_BYTES,
     EncodedMatrix,
+    EncodeSpec,
     Segment,
     SparseFormat,
     apply_mask,
@@ -46,13 +47,8 @@ class SDCFormat(SparseFormat):
         self.group_rows = group_rows
 
     @timed("formats.sdc.encode")
-    def encode(
-        self,
-        values: np.ndarray,
-        mask: Optional[np.ndarray] = None,
-        tbs=None,
-        block_size: int = 8,
-    ) -> EncodedMatrix:
+    def _encode(self, values: np.ndarray, spec: EncodeSpec) -> EncodedMatrix:
+        mask, block_size = spec.mask, spec.effective_block_size
         dense = apply_mask(values, mask)
         rows, cols = dense.shape
         row_nnz = np.count_nonzero(dense, axis=1) if rows else np.zeros(0, dtype=int)
@@ -106,6 +102,21 @@ class SDCFormat(SparseFormat):
             segments=segments,
             arrays={"values": vals, "indices": idxs, "valid": valid, "widths": widths},
         )
+
+    def transposed_trace(self, encoded: EncodedMatrix) -> List[Segment]:
+        """Transposed reads: every row-group re-fetched per block column.
+
+        A compressed SDC row is directly addressable as a *whole*, but a
+        single column's position inside it is data-dependent (it shifts
+        with the row's earlier non-zeros).  Serving one transposed block
+        row -- one stored block *column* -- therefore re-fetches every
+        padded row-group in full, and the walk over transposed block rows
+        repeats that for each block column of the stored matrix.
+        """
+        _, cols = encoded.shape
+        bs = encoded.block_size
+        n_block_cols = (cols + bs - 1) // bs
+        return [seg for _ in range(n_block_cols) for seg in encoded.segments]
 
     @timed("formats.sdc.decode")
     def decode(self, encoded: EncodedMatrix) -> np.ndarray:

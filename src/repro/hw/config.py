@@ -50,7 +50,7 @@ class ArchConfig:
     burst_bytes: int = 32
     # --- sparsity support ---
     pattern: PatternFamily = PatternFamily.TBS
-    storage_format: str = "ddc"  # 'dense' | 'csr' | 'sdc' | 'ddc' | 'bitmap'
+    storage_format: str = "ddc"  # any name in repro.formats.available_formats()
     inter_block_scheduling: bool = True
     intra_block_mapping: bool = True
     alternate_unit: bool = True

@@ -130,10 +130,13 @@ def _bench_workload(sizes: Dict[str, int], seed: int):
 
 
 def _micro_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Callable[[], None]]]:
+    from ..formats.base import EncodeSpec
+    from ..formats.bcsrcoo import BCSRCOOFormat
     from ..formats.bitmap import BitmapFormat
     from ..formats.conversion import batch_conversion_cycles
     from ..formats.csr import CSRFormat
     from ..formats.ddc import DDCFormat
+    from ..formats.memory_model import traffic_report
     from ..formats.sdc import SDCFormat
     from ..hw.config import tb_stc
     from ..hw.dvpe import DVPE
@@ -180,18 +183,60 @@ def _micro_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Cal
             lambda: batch_conversion_cycles(np.asarray(conv_blocks), n_queues=_M),
         ),
     ]
-    for fmt in (DDCFormat(), SDCFormat(group_rows=_M), CSRFormat(), BitmapFormat()):
+    for fmt in (DDCFormat(), SDCFormat(group_rows=_M), CSRFormat(), BitmapFormat(), BCSRCOOFormat()):
+        spec = EncodeSpec(
+            tbs=workload.tbs if fmt.name in ("ddc", "bcsrcoo") else None,
+            block_size=_M,
+        )
         benches.append(
             (
                 f"encode_{fmt.name}",
                 matrix_cells,
-                lambda fmt=fmt: fmt.encode(
-                    sparse,
-                    tbs=workload.tbs if fmt.name == "ddc" else None,
-                    block_size=_M,
-                ),
+                lambda fmt=fmt, spec=spec: fmt.encode(sparse, spec),
             )
         )
+
+    # Orientation benches: transposed-trace derivation is the new hot
+    # path (built lazily per encoding, once per orientation flip), so pin
+    # its cost per format.  Each bench owns its encoding and clears the
+    # cache first so every call measures a full derivation, not a hit.
+    tbs_spec = EncodeSpec(tbs=workload.tbs, block_size=_M)
+    plain_spec = EncodeSpec(block_size=_M)
+    traced = {
+        "csr": CSRFormat().encode(sparse, plain_spec),
+        "ddc": DDCFormat().encode(sparse, tbs_spec),
+        "bcsrcoo": BCSRCOOFormat().encode(sparse, tbs_spec),
+    }
+
+    def _trace_t(enc) -> None:
+        enc.transposed_segments = None
+        enc.trace("transposed")
+
+    benches.append(
+        ("format_trace_t_csr", matrix_cells, lambda enc=traced["csr"]: _trace_t(enc))
+    )
+    benches.append(
+        ("format_trace_t_ddc", matrix_cells, lambda enc=traced["ddc"]: _trace_t(enc))
+    )
+    benches.append(
+        ("bcsrcoo_trace_t", matrix_cells, lambda enc=traced["bcsrcoo"]: _trace_t(enc))
+    )
+
+    both_encs = tuple(traced.values())
+
+    def _traffic_both() -> None:
+        # Both passes analysed from already-built encodings; the
+        # transposed traces are pre-warmed above so this isolates the
+        # burst/merge analysis cost itself.
+        for enc in both_encs:
+            for orientation in ("forward", "transposed"):
+                traffic_report(enc, m=_M, orientation=orientation)
+
+    for enc in both_encs:
+        enc.trace("transposed")
+    benches.append(
+        ("format_traffic_both", matrix_cells * len(both_encs), _traffic_both)
+    )
     return benches
 
 

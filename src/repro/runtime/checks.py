@@ -189,15 +189,25 @@ def check_format_roundtrip(
 
     This is the storage-format integrity invariant: whatever bytes the
     memory system would move must reconstruct the sparse matrix
-    bit-exactly.  Expensive (a full encode+decode), so call sites gate it
-    behind ``strict``.
+    bit-exactly.  The encoding's access traces (both orientations) are
+    also checked against its declared footprint via
+    :mod:`repro.formats.validate`.  Expensive (a full encode+decode), so
+    call sites gate it behind ``strict``.
     """
     level = get_check_level(level)
     if level == "off":
         return True
     expected = np.where(mask, values, 0.0) if mask is not None else np.asarray(values, float)
     try:
-        encoded = fmt.encode(values, mask=mask, tbs=tbs, block_size=block_size)
+        from ..formats.base import EncodedMatrix, EncodeSpec, SparseFormat
+        from ..formats.validate import validate_trace
+
+        if isinstance(fmt, SparseFormat):
+            encoded = fmt.encode(values, EncodeSpec(mask=mask, tbs=tbs, block_size=block_size))
+        else:  # duck-typed stand-ins keep the legacy keyword contract
+            encoded = fmt.encode(values, mask=mask, tbs=tbs, block_size=block_size)
+        if isinstance(encoded, EncodedMatrix):
+            validate_trace(encoded)
         decoded = fmt.decode(encoded)
     except Exception as exc:  # noqa: BLE001 - converted into the invariant report
         where = f" [{context}]" if context else ""

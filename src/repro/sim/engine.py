@@ -34,14 +34,10 @@ import numpy as np
 
 from ..core.blocks import split_into_blocks
 from ..core.patterns import Direction, PatternFamily
-from ..formats.base import VALUE_BYTES
-from ..formats.bitmap import BitmapFormat
+from ..formats.base import DEFAULT_ORIENTATION, VALUE_BYTES, EncodeSpec
 from ..formats.conversion import batch_conversion_cycles
-from ..formats.csr import CSRFormat
-from ..formats.ddc import DDCFormat
-from ..formats.dense import DenseFormat
 from ..formats.memory_model import traffic_report
-from ..formats.sdc import SDCFormat
+from ..formats.registry import available_formats, format_index, get_format
 from ..hw.codec import CodecUnit
 from ..hw.config import ArchConfig
 from ..hw.dram import DRAMModel
@@ -64,13 +60,16 @@ __all__ = ["SimOptions", "simulate", "block_segments", "PIPELINE_FILL_CYCLES"]
 #: Fixed pipeline fill/drain cost per layer launch.
 PIPELINE_FILL_CYCLES = 64
 
-_FORMATS = {
-    "dense": DenseFormat,
-    "csr": CSRFormat,
-    "sdc": SDCFormat,
-    "ddc": DDCFormat,
-    "bitmap": BitmapFormat,
-}
+def _storage_format(name: str, m: int):
+    """The simulator's instance of storage format ``name``.
+
+    Resolves through :mod:`repro.formats.registry`; SDC is special-cased
+    to the hardware row-group variant (VEGETA/STC align within M-row
+    groups rather than the whole matrix -- see the SDCFormat docstring).
+    """
+    if name == "sdc":
+        return get_format("sdc", group_rows=m)
+    return get_format(name)
 
 
 def block_segments(
@@ -274,6 +273,7 @@ def _memory_cycles_and_bytes(
     dram: DRAMModel,
     weight_bits: int = 16,
     ecc=None,
+    orientation: str = DEFAULT_ORIENTATION,
 ) -> Tuple[int, float, Dict[str, float]]:
     """DRAM cycles and traffic for the A, B and D tensors.
 
@@ -281,17 +281,17 @@ def _memory_cycles_and_bytes(
     value payload shrinks proportionally while indices/metadata and the
     activation operands stay FP16.  ``ecc`` charges metadata check-bit
     traffic when the architecture protects its metadata.
+    ``orientation`` selects which consumption pass of the *same*
+    encoding is traced (forward or transposed -- the backward pass).
     """
-    if config.storage_format == "sdc":
-        # Hardware SDC (VEGETA/STC row groups) aligns within M-row groups
-        # rather than the whole matrix (see SDCFormat docstring).
-        fmt = SDCFormat(group_rows=workload.m)
-    else:
-        fmt = _FORMATS[config.storage_format]()
+    fmt = _storage_format(config.storage_format, workload.m)
     encoded = fmt.encode(
         workload.sparse_values,
-        tbs=workload.tbs if config.storage_format == "ddc" else None,
-        block_size=workload.m,
+        EncodeSpec(
+            tbs=workload.tbs if config.storage_format in ("ddc", "bcsrcoo") else None,
+            block_size=workload.m,
+            orientation=orientation,
+        ),
     )
     report = traffic_report(encoded, burst_bytes=config.burst_bytes, m=workload.m, ecc=ecc)
     a_res = dram.transfer_report(report)
@@ -490,9 +490,9 @@ def _simulate(
     level = get_check_level()
     if level != "off":
         check_workload(workload, context=f"simulate:{workload.name}")
-        if level == "strict" and config.storage_format in _FORMATS:
+        if level == "strict" and config.storage_format in available_formats():
             check_format_roundtrip(
-                _FORMATS[config.storage_format](),
+                get_format(config.storage_format),
                 workload.values,
                 mask=workload.mask,
                 tbs=workload.tbs,
@@ -543,7 +543,8 @@ def _simulate(
     )
     with stage("sim.memory"):
         memory_cycles, dram_bytes, mem_detail = _memory_cycles_and_bytes(
-            workload, config, dram, weight_bits=weight_bits, ecc=ecc
+            workload, config, dram, weight_bits=weight_bits, ecc=ecc,
+            orientation=options.orientation,
         )
 
     with stage("sim.codec"):
@@ -643,15 +644,17 @@ def _classify_fault(
     from ..faults import classify_decode, inject_payload_bitflips, payload_targets
 
     fmt_name = config.storage_format
-    if fmt_name not in _FORMATS or fault not in payload_targets(fmt_name):
+    if fmt_name not in available_formats() or fault not in payload_targets(fmt_name):
         return None
-    fmt = SDCFormat(group_rows=workload.m) if fmt_name == "sdc" else _FORMATS[fmt_name]()
+    fmt = _storage_format(fmt_name, workload.m)
     encoded = fmt.encode(
         workload.sparse_values,
-        tbs=workload.tbs if fmt_name == "ddc" else None,
-        block_size=workload.m,
+        EncodeSpec(
+            tbs=workload.tbs if fmt_name in ("ddc", "bcsrcoo") else None,
+            block_size=workload.m,
+        ),
     )
-    rng = np.random.default_rng([fault_seed, list(_FORMATS).index(fmt_name)])
+    rng = np.random.default_rng([fault_seed, format_index(fmt_name)])
     record = inject_payload_bitflips(encoded, fault, rng)
     if not record.injected:
         return None

@@ -55,6 +55,12 @@ class SimOptions:
     #: None defers to ``$REPRO_TSOLVER`` and then 'greedy'.  Inert for
     #: workloads whose masks were built elsewhere.
     tsolver: Optional[str] = None
+    #: Consumption orientation of the A operand ('forward' |
+    #: 'transposed').  'transposed' models the backward pass draining
+    #: the transpose of the same stored encoding -- the format is never
+    #: re-encoded, so formats whose layouts transpose poorly (CSR, SDC)
+    #: pay their honest traffic penalty.
+    orientation: str = "forward"
 
     _FAULT_TARGETS = ("values", "indices", "metadata")
 
@@ -76,6 +82,12 @@ class SimOptions:
                 raise ValueError(
                     f"tsolver must be one of {TSOLVER_NAMES} or None, got {self.tsolver!r}"
                 )
+        from ..formats.base import ORIENTATIONS
+
+        if self.orientation not in ORIENTATIONS:
+            raise ValueError(
+                f"orientation must be one of {ORIENTATIONS}, got {self.orientation!r}"
+            )
 
     def with_(self, **changes: Any) -> "SimOptions":
         """A copy with ``changes`` applied (thin ``dataclasses.replace``)."""
@@ -90,6 +102,7 @@ class SimOptions:
             "fault_seed": self.fault_seed,
             "cycle_budget": self.cycle_budget,
             "tsolver": self.tsolver,
+            "orientation": self.orientation,
         }
         out["energy_params"] = None if self.energy_params is None else asdict(self.energy_params)
         if self.ecc is None:

@@ -19,9 +19,12 @@ SMALL = dict(trials=6, rows=16, cols=16, m=8, sparsity=0.75)
 
 class TestSpec:
     def test_defaults_cover_everything(self):
+        from repro.formats import available_formats
+
         spec = CampaignSpec()
         assert set(spec.models) == set(FAULT_MODELS)
-        assert len(spec.formats) == 5
+        assert spec.formats == available_formats()
+        assert len(spec.formats) == 6
 
     def test_rejects_unknown_format(self):
         with pytest.raises(ValueError):

@@ -11,7 +11,15 @@ from repro.faults.injectors import (
     inject_payload_bitflips,
     payload_targets,
 )
-from repro.formats import BitmapFormat, CSRFormat, DDCFormat, DenseFormat, SDCFormat
+from repro.formats import (
+    BCSRCOOFormat,
+    BitmapFormat,
+    CSRFormat,
+    DDCFormat,
+    DenseFormat,
+    EncodeSpec,
+    SDCFormat,
+)
 
 FORMATS = {
     "dense": DenseFormat,
@@ -19,6 +27,7 @@ FORMATS = {
     "sdc": SDCFormat,
     "ddc": DDCFormat,
     "bitmap": BitmapFormat,
+    "bcsrcoo": BCSRCOOFormat,
 }
 
 
@@ -32,7 +41,8 @@ def _case(seed=0, rows=16, cols=16, m=8, sparsity=0.75):
 
 def _encode(fmt_name, expected, tbs, m=8):
     fmt = SDCFormat(group_rows=m) if fmt_name == "sdc" else FORMATS[fmt_name]()
-    return fmt, fmt.encode(expected, tbs=tbs if fmt_name == "ddc" else None, block_size=m)
+    spec = EncodeSpec(tbs=tbs if fmt_name in ("ddc", "bcsrcoo") else None, block_size=m)
+    return fmt, fmt.encode(expected, spec)
 
 
 class TestTargets:

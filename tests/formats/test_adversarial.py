@@ -10,13 +10,23 @@ import numpy as np
 import pytest
 
 from repro.core import tbs_sparsify
-from repro.formats import BitmapFormat, CSRFormat, DDCFormat, DenseFormat, SDCFormat
+from repro.formats import (
+    BCSRCOOFormat,
+    BitmapFormat,
+    CSRFormat,
+    DDCFormat,
+    DenseFormat,
+    EncodeSpec,
+    SDCFormat,
+)
 
-ALL_FORMATS = [DenseFormat(), CSRFormat(), SDCFormat(), DDCFormat(), BitmapFormat()]
+ALL_FORMATS = [
+    DenseFormat(), CSRFormat(), SDCFormat(), DDCFormat(), BitmapFormat(), BCSRCOOFormat(),
+]
 
 
 def _roundtrip(fmt, values, mask):
-    enc = fmt.encode(values, mask=mask)
+    enc = fmt.encode(values, EncodeSpec(mask=mask))
     expected = np.where(mask, values, 0.0)
     np.testing.assert_allclose(fmt.decode(enc), expected)
     assert enc.nnz == np.count_nonzero(expected)
@@ -52,7 +62,7 @@ class TestAdversarialMasks:
 
     def test_all_empty(self, fmt):
         mask = np.zeros((8, 8), dtype=bool)
-        enc = fmt.encode(_values((8, 8), seed=4), mask=mask)
+        enc = fmt.encode(_values((8, 8), seed=4), EncodeSpec(mask=mask))
         np.testing.assert_array_equal(fmt.decode(enc), np.zeros((8, 8)))
         assert enc.nnz == 0
 
@@ -85,7 +95,10 @@ class TestAdversarialMasks:
     def test_tbs_mask_at_extreme_sparsity(self, fmt):
         values = _values((32, 32), seed=10)
         res = tbs_sparsify(values, m=8, sparsity=0.97)
-        enc = fmt.encode(values * res.mask, tbs=res if fmt.name == "ddc" else None)
+        enc = fmt.encode(
+            values * res.mask,
+            EncodeSpec(tbs=res if fmt.name in ("ddc", "bcsrcoo") else None),
+        )
         np.testing.assert_allclose(fmt.decode(enc), values * res.mask)
 
 
@@ -121,7 +134,7 @@ class TestBitflipFuzz:
         expected = np.where(mask, values, 0.0)
         for fmt in ALL_FORMATS:
             for target in payload_targets(fmt.name):
-                encoded = fmt.encode(values, mask=mask)
+                encoded = fmt.encode(values, EncodeSpec(mask=mask))
                 record = inject_payload_bitflips(encoded, target, rng)
                 if not record.injected:
                     continue
@@ -149,7 +162,7 @@ class TestBitflipFuzz:
         expected = np.where(mask, values, 0.0)
         for fmt in ALL_FORMATS:
             for target in payload_targets(fmt.name):
-                encoded = fmt.encode(values, mask=mask)
+                encoded = fmt.encode(values, EncodeSpec(mask=mask))
                 record = inject_payload_bitflips(encoded, target, rng, nbits=2)
                 record.revert(encoded)
                 np.testing.assert_array_equal(fmt.decode(encoded), expected)
@@ -160,6 +173,6 @@ class TestBitflipFuzz:
         flips = []
         for _ in range(2):
             values, mask, rng = self._sweep_case(0)
-            encoded = CSRFormat().encode(values, mask=mask)
+            encoded = CSRFormat().encode(values, EncodeSpec(mask=mask))
             flips.append(inject_payload_bitflips(encoded, "indices", rng).flips)
         assert flips[0] == flips[1]

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.core.patterns import Direction
 from repro.core.sparsify import tbs_sparsify
-from repro.formats import CSRFormat, DDCFormat, SDCFormat
+from repro.formats import CSRFormat, DDCFormat, EncodeSpec, SDCFormat
 from repro.formats.ddc import infer_block_pattern
 
 
@@ -61,7 +61,7 @@ class TestFootprintInvariants:
         w = rng.normal(size=(64, 64))
         res = tbs_sparsify(w, m=8, sparsity=sparsity)
         sparse = w * res.mask
-        ddc = DDCFormat().encode(sparse, tbs=res)
+        ddc = DDCFormat().encode(sparse, EncodeSpec(tbs=res))
         sdc = SDCFormat(group_rows=8).encode(sparse)
         assert ddc.total_bytes <= sdc.total_bytes + 2 * 64  # info table slack
 
@@ -82,6 +82,6 @@ class TestFootprintInvariants:
         res = tbs_sparsify(w, m=8, sparsity=0.75)
         sparse = w * res.mask
         for fmt in (DDCFormat(), SDCFormat(group_rows=8)):
-            enc = fmt.encode(sparse, tbs=res if fmt.name == "ddc" else None)
+            enc = fmt.encode(sparse, EncodeSpec(tbs=res if fmt.name == "ddc" else None))
             if enc.segments:
                 assert max(s.end for s in enc.segments) <= enc.total_bytes + 8

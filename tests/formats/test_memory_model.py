@@ -6,6 +6,7 @@ import pytest
 from repro.core import tbs_sparsify
 from repro.formats import (
     CSRFormat,
+    EncodeSpec,
     DDCFormat,
     DenseFormat,
     SDCFormat,
@@ -58,7 +59,7 @@ class TestTrafficReport:
     def test_utilization_bounds(self):
         sparse, res = _tbs_case(seed=1)
         for fmt in (DenseFormat(), CSRFormat(), SDCFormat(), DDCFormat()):
-            enc = fmt.encode(sparse, tbs=res if fmt.name == "ddc" else None)
+            enc = fmt.encode(sparse, EncodeSpec(tbs=res if fmt.name == "ddc" else None))
             rep = traffic_report(enc)
             assert 0.0 <= rep.bandwidth_utilization <= 1.0
             assert rep.redundancy_ratio == pytest.approx(1 - rep.bandwidth_utilization)
@@ -75,7 +76,7 @@ class TestUsefulFloor:
 
     def test_sparse_floor_includes_indices_and_info(self):
         sparse, res = _tbs_case(shape=(8, 8), seed=2)
-        enc = DDCFormat().encode(sparse, tbs=res)
+        enc = DDCFormat().encode(sparse, EncodeSpec(tbs=res))
         floor = useful_bytes_floor(enc, m=8)
         assert floor >= enc.nnz * 2
         assert floor <= enc.nnz * 2 + enc.nnz + 2  # 3-bit idx + one info entry

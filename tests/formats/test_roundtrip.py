@@ -6,9 +6,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import tbs_sparsify
-from repro.formats import CSRFormat, DDCFormat, DenseFormat, SDCFormat
+from repro.formats import (
+    BCSRCOOFormat,
+    BitmapFormat,
+    CSRFormat,
+    DDCFormat,
+    DenseFormat,
+    EncodeSpec,
+    SDCFormat,
+)
 
-ALL_FORMATS = [DenseFormat(), CSRFormat(), SDCFormat(), DDCFormat()]
+ALL_FORMATS = [
+    DenseFormat(), CSRFormat(), SDCFormat(), DDCFormat(), BitmapFormat(), BCSRCOOFormat(),
+]
+
+#: Formats whose encoding consumes the TBS metadata directly.
+_TBS_AWARE = ("ddc", "bcsrcoo")
 
 
 def _tbs_matrix(shape=(64, 64), sparsity=0.75, seed=0):
@@ -22,7 +35,7 @@ def _tbs_matrix(shape=(64, 64), sparsity=0.75, seed=0):
 class TestRoundTrip:
     def test_tbs_matrix(self, fmt):
         sparse, res = _tbs_matrix()
-        enc = fmt.encode(sparse, tbs=res if fmt.name == "ddc" else None)
+        enc = fmt.encode(sparse, EncodeSpec(tbs=res if fmt.name in _TBS_AWARE else None))
         np.testing.assert_allclose(fmt.decode(enc), sparse)
 
     def test_empty_matrix(self, fmt):
@@ -42,7 +55,7 @@ class TestRoundTrip:
         rng = np.random.default_rng(2)
         w = rng.normal(size=(16, 16))
         mask = rng.random((16, 16)) < 0.5
-        enc = fmt.encode(w, mask=mask)
+        enc = fmt.encode(w, EncodeSpec(mask=mask))
         np.testing.assert_allclose(fmt.decode(enc), np.where(mask, w, 0.0))
 
     def test_single_element(self, fmt):
@@ -53,25 +66,25 @@ class TestRoundTrip:
 
     def test_nnz_recorded(self, fmt):
         sparse, res = _tbs_matrix(seed=3)
-        enc = fmt.encode(sparse, tbs=res if fmt.name == "ddc" else None)
+        enc = fmt.encode(sparse, EncodeSpec(tbs=res if fmt.name in _TBS_AWARE else None))
         assert enc.nnz == np.count_nonzero(sparse)
 
     def test_rejects_mask_shape_mismatch(self, fmt):
         with pytest.raises(ValueError):
-            fmt.encode(np.ones((4, 4)), mask=np.ones((2, 2), dtype=bool))
+            fmt.encode(np.ones((4, 4)), EncodeSpec(mask=np.ones((2, 2), dtype=bool)))
 
     @given(seed=st.integers(0, 50), sparsity=st.sampled_from([0.5, 0.75, 0.875]))
     @settings(max_examples=12, deadline=None)
     def test_roundtrip_property(self, fmt, seed, sparsity):
         sparse, res = _tbs_matrix(shape=(32, 40), sparsity=sparsity, seed=seed)
-        enc = fmt.encode(sparse, tbs=res if fmt.name == "ddc" else None)
+        enc = fmt.encode(sparse, EncodeSpec(tbs=res if fmt.name in _TBS_AWARE else None))
         np.testing.assert_allclose(fmt.decode(enc), sparse)
 
 
 class TestDDCSpecifics:
     def test_ragged_shape(self):
         sparse, res = _tbs_matrix(shape=(30, 44), seed=4)
-        enc = DDCFormat().encode(sparse, tbs=res)
+        enc = DDCFormat().encode(sparse, EncodeSpec(tbs=res))
         np.testing.assert_allclose(DDCFormat().decode(enc), sparse)
 
     def test_without_tbs_metadata_infers(self):
@@ -82,17 +95,17 @@ class TestDDCSpecifics:
 
     def test_info_table_size(self):
         sparse, res = _tbs_matrix(shape=(64, 64), seed=6)
-        enc = DDCFormat().encode(sparse, tbs=res)
+        enc = DDCFormat().encode(sparse, EncodeSpec(tbs=res))
         assert enc.meta_bytes == 8 * 8 * 2  # 64 blocks x 16 bits
 
     def test_compression_beats_dense_on_sparse(self):
         sparse, res = _tbs_matrix(sparsity=0.75, seed=7)
-        enc = DDCFormat().encode(sparse, tbs=res)
+        enc = DDCFormat().encode(sparse, EncodeSpec(tbs=res))
         assert DDCFormat.compression_ratio(enc) > 2.0
 
     def test_value_bytes_match_block_n(self):
         sparse, res = _tbs_matrix(seed=8)
-        enc = DDCFormat().encode(sparse, tbs=res)
+        enc = DDCFormat().encode(sparse, EncodeSpec(tbs=res))
         expected = int(res.block_n.sum()) * res.m * 2
         assert enc.value_bytes == expected
 
@@ -141,5 +154,5 @@ class TestCSRSpecifics:
         """CSR's block-major consumption produces many short segments."""
         sparse, res = _tbs_matrix(shape=(64, 64), seed=13)
         csr = CSRFormat().encode(sparse)
-        ddc = DDCFormat().encode(sparse, tbs=res)
+        ddc = DDCFormat().encode(sparse, EncodeSpec(tbs=res))
         assert len(csr.segments) > 4 * len(ddc.segments)

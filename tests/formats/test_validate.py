@@ -1,0 +1,89 @@
+"""Unit tests for the trace-vs-footprint validator."""
+
+import numpy as np
+import pytest
+
+from repro.core import tbs_sparsify
+from repro.formats import (
+    EncodedMatrix,
+    EncodeSpec,
+    Segment,
+    TraceValidationError,
+    available_formats,
+    get_format,
+    trace_violations,
+    validate_trace,
+)
+
+#: Formats whose encoder consumes the TBS metadata directly.
+_TBS_AWARE = ("ddc", "bcsrcoo")
+
+
+def _synthetic(segments, total_bytes=32):
+    """A hand-built EncodedMatrix whose footprint is all value bytes."""
+    return EncodedMatrix(
+        format_name="dense",
+        shape=(4, 4),
+        nnz=total_bytes // 2,
+        value_bytes=total_bytes,
+        index_bytes=0,
+        meta_bytes=0,
+        segments=list(segments),
+    )
+
+
+class TestViolations:
+    def test_clean_trace_has_none(self):
+        enc = _synthetic([Segment(0, 16), Segment(16, 16)])
+        assert trace_violations(enc, "forward") == []
+
+    def test_segment_past_footprint_flagged(self):
+        enc = _synthetic([Segment(0, 16), Segment(24, 16)])
+        (problem,) = trace_violations(enc, "forward")
+        assert "past the declared footprint" in problem
+
+    def test_partial_overlap_flagged(self):
+        enc = _synthetic([Segment(0, 16), Segment(8, 16)])
+        (problem,) = trace_violations(enc, "forward")
+        assert "partially overlap" in problem
+
+    def test_exact_duplicate_is_legal(self):
+        """Whole-segment re-fetch (SDC's transposed walk) is real traffic,
+        not a layout inconsistency."""
+        enc = _synthetic([Segment(0, 16), Segment(0, 16), Segment(16, 16)])
+        assert trace_violations(enc, "forward") == []
+
+    def test_zero_length_segments_ignored(self):
+        enc = _synthetic([Segment(0, 16), Segment(8, 0), Segment(16, 16)])
+        assert trace_violations(enc, "forward") == []
+
+    def test_contained_segment_flagged(self):
+        enc = _synthetic([Segment(0, 32), Segment(8, 8)])
+        assert trace_violations(enc, "forward")
+
+
+class TestValidateTrace:
+    def test_raises_with_format_and_orientation(self):
+        enc = _synthetic([Segment(24, 16)])
+        with pytest.raises(TraceValidationError, match="dense forward"):
+            validate_trace(enc, "forward")
+
+    def test_passes_on_clean_trace(self):
+        validate_trace(_synthetic([Segment(0, 32)]), "forward")
+
+    def test_default_checks_both_orientations(self):
+        """orientation=None must also derive and check the transposed
+        trace (smoke-testing that the format can serve it)."""
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(32, 32))
+        res = tbs_sparsify(w, m=8, sparsity=0.75)
+        sparse = np.where(res.mask, w, 0.0)
+        for name in available_formats():
+            fmt = get_format(name)
+            enc = fmt.encode(sparse, EncodeSpec(tbs=res if name in _TBS_AWARE else None))
+            validate_trace(enc)
+            assert enc.transposed_segments is not None, name
+
+    def test_bad_orientation_rejected(self):
+        with pytest.raises(ValueError, match="orientation"):
+            trace_violations(_synthetic([Segment(0, 32)]), "sideways")

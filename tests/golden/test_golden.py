@@ -31,6 +31,7 @@ from repro.workloads.layers import LayerSpec
 _GOLDEN_DIR = Path(__file__).parent
 _SIMRESULT_GOLDEN = _GOLDEN_DIR / "simresult_tbstc_64x64.json"
 _TABLE1_GOLDEN = _GOLDEN_DIR / "table1_mlp_seed0.json"
+_FIG7BOTH_GOLDEN = _GOLDEN_DIR / "fig7both_64.json"
 _PLACES = 6
 
 
@@ -61,6 +62,12 @@ def _table1_payload():
     return run_table1(tasks=(("mlp", 0.75),), seeds=(0,), epochs=1, workers=1)
 
 
+def _fig7both_payload():
+    from repro.analysis.experiments import run_fig7_both_passes
+
+    return run_fig7_both_passes(sparsities=(0.5, 0.75, 0.875), seed=0, size=64, workers=1)
+
+
 class TestSimResultGolden:
     def test_matches_golden_file(self):
         expected = json.loads(_SIMRESULT_GOLDEN.read_text())
@@ -87,11 +94,39 @@ class TestTable1Golden:
         assert actual == expected
 
 
+class TestFig7BothGolden:
+    """Pins the both-passes format-comparison table (Fig. 7 analogue
+    with a backward-pass column)."""
+
+    def test_matches_golden_file(self):
+        expected = json.loads(_FIG7BOTH_GOLDEN.read_text())
+        actual = json.loads(_canon(_fig7both_payload()))
+        assert sorted(actual) == sorted(expected), "fig7both row set changed"
+        assert actual == expected
+
+    def test_bcsrcoo_beats_csr_on_the_backward_pass(self):
+        """The committed table itself must witness the acceptance
+        criterion: lower transposed-pass traffic than CSR at the
+        paper's 75% sparsity."""
+        table = json.loads(_FIG7BOTH_GOLDEN.read_text())
+        bcsrcoo = table["sparsity=75% bcsrcoo"]
+        csr = table["sparsity=75% csr"]
+        assert bcsrcoo["backward_traced_bytes"] < csr["backward_traced_bytes"]
+
+    def test_single_encode_formats_trace_equal_bytes_both_ways(self):
+        table = json.loads(_FIG7BOTH_GOLDEN.read_text())
+        for key, row in table.items():
+            if key.endswith(" bcsrcoo"):
+                assert row["backward_traced_bytes"] == row["forward_traced_bytes"], key
+
+
 def _regenerate() -> None:  # pragma: no cover - maintenance entry point
     _SIMRESULT_GOLDEN.write_text(_canon(_simresult_payload()))
     print(f"wrote {_SIMRESULT_GOLDEN}")
     _TABLE1_GOLDEN.write_text(_canon(_table1_payload()))
     print(f"wrote {_TABLE1_GOLDEN}")
+    _FIG7BOTH_GOLDEN.write_text(_canon(_fig7both_payload()))
+    print(f"wrote {_FIG7BOTH_GOLDEN}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.patterns import Direction
-from repro.formats import CSRFormat, DDCFormat, traffic_report
+from repro.formats import CSRFormat, DDCFormat, EncodeSpec, traffic_report
 from repro.core.sparsify import tbs_sparsify
 from repro.hw.codec import CodecStats, CodecUnit
 from repro.hw.dram import DRAMModel
@@ -130,7 +130,7 @@ class TestDRAMModel:
         rng = np.random.default_rng(0)
         w = rng.normal(size=(64, 64))
         res = tbs_sparsify(w, m=8, sparsity=0.75)
-        ddc_rep = traffic_report(DDCFormat().encode(w * res.mask, tbs=res))
+        ddc_rep = traffic_report(DDCFormat().encode(w * res.mask, EncodeSpec(tbs=res)))
         csr_rep = traffic_report(CSRFormat().encode(w * res.mask))
         dram = DRAMModel()
         ddc = dram.transfer_report(ddc_rep)

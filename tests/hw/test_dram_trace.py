@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.sparsify import tbs_sparsify
-from repro.formats import CSRFormat, DDCFormat, Segment
+from repro.formats import CSRFormat, DDCFormat, EncodeSpec, Segment
 from repro.hw.dram_trace import BankedDRAM
 
 
@@ -13,7 +13,7 @@ def _tbs_encodings(seed=0, shape=(128, 128), sparsity=0.75):
     w = rng.normal(size=shape)
     res = tbs_sparsify(w, m=8, sparsity=sparsity)
     sparse = w * res.mask
-    return DDCFormat().encode(sparse, tbs=res), CSRFormat().encode(sparse)
+    return DDCFormat().encode(sparse, EncodeSpec(tbs=res)), CSRFormat().encode(sparse)
 
 
 class TestGeometry:

@@ -32,6 +32,7 @@ class TestSimOptions:
         assert opts.fault is None
         assert opts.fault_seed == 0
         assert opts.cycle_budget is None
+        assert opts.orientation == "forward"
 
     def test_frozen(self):
         with pytest.raises(Exception):
@@ -58,6 +59,20 @@ class TestSimOptions:
     def test_rejects_bad_cycle_budget(self):
         with pytest.raises(ValueError, match="cycle_budget"):
             SimOptions(cycle_budget=0)
+
+    def test_rejects_bad_orientation(self):
+        with pytest.raises(ValueError, match="orientation"):
+            SimOptions(orientation="sideways")
+
+    def test_orientation_round_trips_through_dict(self):
+        opts = SimOptions(orientation="transposed")
+        assert opts.to_dict()["orientation"] == "transposed"
+        assert SimOptions.from_dict(opts.to_dict()) == opts
+
+    def test_old_dicts_without_orientation_still_load(self):
+        payload = SimOptions().to_dict()
+        del payload["orientation"]
+        assert SimOptions.from_dict(payload).orientation == "forward"
 
     def test_with_returns_modified_copy(self):
         base = SimOptions()
@@ -149,6 +164,24 @@ class TestSimulateOptions:
             legacy = simulate(tb_stc(), wl, EnergyParams())
         new = simulate(tb_stc(), wl, options=SimOptions(energy_params=EnergyParams()))
         assert new.to_dict() == legacy.to_dict()
+
+
+class TestSimulateOrientation:
+    def test_explicit_forward_matches_default(self):
+        wl = _wl()
+        fwd = simulate(tb_stc(), wl, options=SimOptions(orientation="forward"))
+        assert fwd.to_dict() == simulate(tb_stc(), wl).to_dict()
+
+    def test_transposed_pass_costs_more_for_sdc_storage(self):
+        """SDC's row-group layout re-fetches whole groups per block
+        column on the backward pass, so its DRAM traffic must grow."""
+        from repro.hw.config import all_baselines
+
+        config = next(c for c in all_baselines() if c.storage_format == "sdc")
+        wl = _wl()
+        fwd = simulate(config, wl)
+        bwd = simulate(config, wl, options=SimOptions(orientation="transposed"))
+        assert bwd.dram_bytes > fwd.dram_bytes
 
 
 class TestSimResultSerialization:

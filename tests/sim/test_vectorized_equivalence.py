@@ -17,6 +17,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.formats.base import EncodeSpec
 from repro.perf import REFERENCE_ENV
 
 
@@ -192,9 +193,9 @@ def _make_format(name):
 def test_format_encode_matches_reference(fmt_name, seed, rows, cols, density):
     fmt = _make_format(fmt_name)
     dense = _random_sparse(seed, rows, cols, density)
-    fast = fmt.encode(dense, block_size=8)
+    fast = fmt.encode(dense, EncodeSpec(block_size=8))
     with reference_impl():
-        ref = fmt.encode(dense, block_size=8)
+        ref = fmt.encode(dense, EncodeSpec(block_size=8))
     _assert_encoded_equal(fast, ref)
     assert np.array_equal(fmt.decode(fast), dense)
     assert np.array_equal(fmt.decode(ref), dense)
@@ -216,9 +217,9 @@ def test_ddc_encode_with_tbs_matches_reference(seed, rows, cols, sparsity):
     tbs = tbs_sparsify(weights, m=8, sparsity=sparsity)
     dense = np.where(tbs.mask, weights, 0.0)
     fmt = DDCFormat()
-    fast = fmt.encode(dense, tbs=tbs, block_size=8)
+    fast = fmt.encode(dense, EncodeSpec(tbs=tbs, block_size=8))
     with reference_impl():
-        ref = fmt.encode(dense, tbs=tbs, block_size=8)
+        ref = fmt.encode(dense, EncodeSpec(tbs=tbs, block_size=8))
     _assert_encoded_equal(fast, ref)
     assert np.array_equal(fmt.decode(fast), dense)
 

@@ -29,6 +29,19 @@ class TestParser:
 
         assert _EXPERIMENTS == EXPERIMENTS
 
+    def test_format_names_match_registry(self):
+        """The parser's local copy must track the format registry."""
+        from repro.cli import _FORMAT_NAMES
+        from repro.formats import available_formats
+
+        assert _FORMAT_NAMES == available_formats()
+
+    def test_orientations_match_formats(self):
+        from repro.cli import _ORIENTATIONS
+        from repro.formats import ORIENTATIONS
+
+        assert _ORIENTATIONS == ORIENTATIONS
+
 
 class TestReport:
     def test_table3(self, capsys):
@@ -225,6 +238,21 @@ class TestSimulate:
         assert rc == 0
         assert "cycles" in capsys.readouterr().out
 
+    def test_orientation_flag(self, capsys):
+        rc = main([
+            "simulate", "--rows", "64", "--cols", "64", "--b-cols", "16",
+            "--orientation", "transposed",
+        ])
+        assert rc == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_rejects_unknown_orientation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "simulate", "--rows", "64", "--cols", "64", "--b-cols", "16",
+                "--orientation", "diagonal",
+            ])
+
 
 class TestFaults:
     SMALL = ["--trials", "4", "--rows", "16", "--cols", "16",
@@ -269,8 +297,19 @@ class TestFaults:
         assert "4 from cache" in second
 
     def test_rejects_unknown_format(self, capsys):
-        assert main(["faults", "--formats", "coo"]) == 2
-        assert "unknown format" in capsys.readouterr().err
+        """--formats choices derive from the registry, so argparse
+        rejects unknown names before the campaign ever builds."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["faults", "--formats", "coo"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_formats_flag_accepts_bcsrcoo(self, capsys):
+        assert main([
+            "faults", "--trials", "2", "--rows", "16", "--cols", "16",
+            "--formats", "bcsrcoo", "--models", "value_flip",
+        ]) == 0
+        assert "bcsrcoo" in capsys.readouterr().out
 
     def test_rejects_unknown_model(self, capsys):
         assert main(["faults", "--models", "row_hammer"]) == 2
