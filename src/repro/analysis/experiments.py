@@ -45,6 +45,12 @@ from ..sweep import SweepCell, SweepOptions, SweepSpec, configured_workers, run_
 from ..workloads.generator import build_workload, synthetic_weights
 from ..workloads.layers import LayerSpec, bert_layers, resnet50_layers
 from ..workloads.models import build_model_workload
+from ..workloads.scenarios import (
+    SCENARIO_ARCH,
+    SCENARIO_FAMILIES,
+    SCENARIO_PATTERNS,
+    build_scenario,
+)
 from .pareto import ParetoPoint, pareto_frontier
 
 __all__ = [
@@ -73,6 +79,7 @@ __all__ = [
     "run_fig16_scheduling_ablation",
     "run_fig17_distribution",
     "run_fig18_convergence",
+    "run_scenarios",
     "run_wide_oneshot",
 ]
 
@@ -104,6 +111,7 @@ EXPERIMENTS = (
     "fig17",
     "fig18",
     "wide",
+    "scenarios",
 )
 
 
@@ -116,6 +124,7 @@ def run_experiment(
     cache_dir: Optional[str] = None,
     resume: bool = False,
     options: Optional[SweepOptions] = None,
+    families: Optional[Sequence[str]] = None,
 ):
     """Compute the raw data behind one paper table/figure by name.
 
@@ -173,6 +182,8 @@ def run_experiment(
         return run_fig18_convergence(epochs=epochs)
     if name == "wide":
         return run_wide_oneshot(scale=scale, **sweep)
+    if name == "scenarios":
+        return run_scenarios(scale=max(scale, 8), families=families, **sweep)
     raise ValueError(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
 
 
@@ -1109,3 +1120,153 @@ def run_fig1_pareto(
                 ParetoPoint(result.edp, proxy_accuracy(acc_family, sparsity), label=f"{name}@{sparsity:.0%}")
             )
     return {"points": points, "frontier": pareto_frontier(points)}
+
+
+# ---------------------------------------------------------------------------
+# Scenario diversity: stencil / MoE / 2:4-inference win-loss sweep
+# ---------------------------------------------------------------------------
+
+
+def _scenario_cell(family: str, pattern: str, scale: int, seed: int) -> Dict[str, Any]:
+    """One scenario grid point: a whole workload family under one pattern
+    regime, simulated on that regime's architecture AND encoded in every
+    registered storage format with both consumption orientations traced.
+
+    Ships the aggregated :class:`SimResult` as its versioned
+    ``to_dict()`` payload plus plain per-format traffic floats -- pure
+    function of the kwargs, picklable both ways.
+    """
+    from ..formats.base import ORIENTATIONS, EncodeSpec
+    from ..formats.memory_model import traffic_report
+    from ..formats.registry import available_formats, get_format
+
+    bundle = build_scenario(family, pattern, seed=seed, scale=scale)
+    config = arch_by_name(SCENARIO_ARCH[pattern])
+    layer_results = [simulate_arch(config, wl) for wl in bundle.layers]
+    agg = aggregate(layer_results, bundle.repeats)
+
+    fmt_wl = bundle.format_workload
+    spec = EncodeSpec(mask=fmt_wl.mask, tbs=fmt_wl.tbs, block_size=fmt_wl.m)
+    formats: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in available_formats():
+        encoded = get_format(name).encode(fmt_wl.sparse_values, spec)
+        per_orient: Dict[str, Dict[str, float]] = {}
+        for orient in ORIENTATIONS:
+            rep = traffic_report(encoded, m=fmt_wl.m, orientation=orient)
+            per_orient[orient] = {
+                "fetched_bytes": float(rep.fetched_bytes),
+                "bandwidth_utilization": float(rep.bandwidth_utilization),
+            }
+        formats[name] = per_orient
+    return {
+        "sim": agg.to_dict(),
+        "formats": formats,
+        "mask_sparsity": float(fmt_wl.sparsity),
+        "target_sparsity": float(bundle.target_sparsity),
+    }
+
+
+def _winner(patterns: Sequence[str], costs) -> str:
+    """The regime with the strictly lowest cost, or ``"tie"`` on a draw."""
+    best = min(costs[p] for p in patterns)
+    leaders = [p for p in patterns if costs[p] == best]
+    return leaders[0] if len(leaders) == 1 else "tie"
+
+
+def run_scenarios(
+    families: Optional[Sequence[str]] = None,
+    patterns: Sequence[str] = SCENARIO_PATTERNS,
+    seed: int = 0,
+    scale: int = 8,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
+    options: Optional[SweepOptions] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """The scenario-diversity win/loss sweep: which scenarios does TBS win?
+
+    Every workload family (stencil / moe / inference24) runs under every
+    pattern regime (TBS on TB-STC, 2:4 on STC, dense on TC); each cell
+    also encodes the family's representative matrix in every registered
+    storage format and traces both consumption orientations.  Returns
+    per family::
+
+        {"patterns": {regime: {cycles, edp, mask_sparsity, macs}},
+         "speedup_vs_dense": {regime: x},
+         "cycle_winner": regime,
+         "formats": {fmt: {orientation: {regime: fetched_bytes...,
+                                         "winner": regime}}}}
+
+    ``winner`` marks the regime moving the fewest bytes for that
+    (format, orientation); ``cycle_winner`` the fastest regime end to
+    end; exact draws report ``"tie"``.  One sweep cell per (family,
+    regime); aggregation folds in grid order, so the table is
+    byte-identical at any worker count.
+    """
+    if families is None:
+        families = SCENARIO_FAMILIES
+    families = tuple(families)
+    for family in families:
+        if family not in SCENARIO_FAMILIES:
+            raise ValueError(
+                f"unknown workload family {family!r}; known: {', '.join(SCENARIO_FAMILIES)}"
+            )
+    patterns = tuple(patterns)
+    for pattern in patterns:
+        if pattern not in SCENARIO_PATTERNS:
+            raise ValueError(
+                f"unknown scenario pattern {pattern!r}; known: {', '.join(SCENARIO_PATTERNS)}"
+            )
+    cells = [
+        SweepCell(
+            key=f"{family}/{pattern}",
+            fn=_scenario_cell,
+            kwargs={"family": family, "pattern": pattern, "scale": scale, "seed": seed},
+        )
+        for family in families
+        for pattern in patterns
+    ]
+    sweep = run_sweep(
+        SweepSpec("scenarios", tuple(cells)),
+        workers=configured_workers(workers),
+        cache_dir=cache_dir,
+        resume=resume,
+        options=options,
+        strict=True,
+    )
+    out: Dict[str, Dict[str, Any]] = {}
+    for family in families:
+        cells_by_pattern = {p: sweep.value(f"{family}/{p}") for p in patterns}
+        sims = {p: SimResult.from_dict(cell["sim"]) for p, cell in cells_by_pattern.items()}
+        pattern_rows = {
+            p: {
+                "cycles": float(sims[p].cycles),
+                "edp": float(sims[p].edp),
+                "mask_sparsity": cells_by_pattern[p]["mask_sparsity"],
+                "macs": float(sims[p].macs),
+            }
+            for p in patterns
+        }
+        entry: Dict[str, Any] = {
+            "target_sparsity": cells_by_pattern[patterns[0]]["target_sparsity"],
+            "patterns": pattern_rows,
+            "cycle_winner": _winner(patterns, {p: sims[p].cycles for p in patterns}),
+        }
+        if "dense" in patterns:
+            dense_cycles = sims["dense"].cycles
+            entry["speedup_vs_dense"] = {p: dense_cycles / sims[p].cycles for p in patterns}
+        formats: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        fmt_names = list(cells_by_pattern[patterns[0]]["formats"])
+        for fmt in fmt_names:
+            per_orient: Dict[str, Dict[str, Any]] = {}
+            for orient in ("forward", "transposed"):
+                row: Dict[str, Any] = {
+                    p: cells_by_pattern[p]["formats"][fmt][orient]["fetched_bytes"]
+                    for p in patterns
+                }
+                row["winner"] = _winner(patterns, row)
+                per_orient[orient] = row
+            formats[fmt] = per_orient
+        entry["formats"] = formats
+        out[family] = entry
+    return out

@@ -95,7 +95,15 @@ _EXPERIMENTS = (
     "fig17",
     "fig18",
     "wide",
+    "scenarios",
 )
+
+#: Scenario workload families, duplicated from ``repro.workloads
+#: .scenarios.SCENARIO_FAMILIES`` for the same lazy-import reason (the
+#: sync is asserted in ``tests/test_cli.py``).  ``--families`` choices
+#: are NOT restricted at parse time: the driver's own one-line error
+#: (exit 1) covers typos, and keeps report/sweep behaviour identical.
+_SCENARIO_FAMILIES = ("stencil", "moe", "inference24")
 
 #: Transposable-mask solver backends, duplicated from
 #: ``repro.core.tsolvers.TSOLVER_NAMES`` for the same lazy-import reason.
@@ -190,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
         "failed; also the per-sweep-cell retry budget for transient "
         "crashed/timeout outcomes under the supervised executor",
     )
+    report.add_argument(
+        "--families", nargs="+", default=None, metavar="FAMILY",
+        help="workload families for the 'scenarios' experiment "
+        f"(default: all: {', '.join(_SCENARIO_FAMILIES)}; other "
+        "experiments ignore it)",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the raw experiment data as JSON instead of the rendered tables",
+    )
     _add_supervision_flags(report, retries=False)
     _add_metrics_flag(report)
     _add_checks_flags(report, "runtime invariant level for mask/format checking")
@@ -213,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json", action="store_true",
         help="print the raw aggregated data as JSON instead of the rendered table",
+    )
+    sweep.add_argument(
+        "--families", nargs="+", default=None, metavar="FAMILY",
+        help="workload families for the 'scenarios' experiment "
+        f"(default: all: {', '.join(_SCENARIO_FAMILIES)}; other "
+        "experiments ignore it)",
     )
     sweep.add_argument(
         "--allow-partial", action="store_true",
@@ -554,6 +578,23 @@ def _render_report(experiment: str, res) -> None:
             print(name, [round(v, 3) for v in series])
     elif experiment == "wide":
         print(render_dict_table(res, key_header="scenario"))
+    elif experiment == "scenarios":
+        summary = {}
+        traffic = {}
+        for family, entry in res.items():
+            row = {}
+            for pattern, stats in entry["patterns"].items():
+                row[f"{pattern}_cycles"] = stats["cycles"]
+            for pattern, value in entry.get("speedup_vs_dense", {}).items():
+                if pattern != "dense":
+                    row[f"{pattern}_speedup"] = value
+            row["winner"] = entry["cycle_winner"]
+            summary[family] = row
+            for fmt, orients in entry["formats"].items():
+                for orient, fetched in orients.items():
+                    traffic[f"{family}/{fmt}/{orient}"] = dict(fetched)
+        print(render_dict_table(summary, key_header="family"))
+        print(render_dict_table(traffic, key_header="family/format/orientation"))
     else:  # pragma: no cover - choices restrict this
         raise ValueError(experiment)
 
@@ -585,12 +626,17 @@ def _run_report(args) -> int:
     names = _EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     seeds = tuple(range(args.seeds))
     failures = []
+    payload = {}
     for name in names:
-        cell = runner.run(
-            name, run_with_workers, name=name, seeds=seeds, epochs=args.epochs, scale=args.scale
-        )
+        kwargs = dict(name=name, seeds=seeds, epochs=args.epochs, scale=args.scale)
+        if name == "scenarios" and args.families:
+            # Part of what the experiment computes (unlike the execution
+            # knobs), so it must participate in the runner's cache key.
+            kwargs["families"] = tuple(args.families)
+        cell = runner.run(name, run_with_workers, **kwargs)
         suffix = " (cached)" if cell.status == "cached" else ""
-        print(f"\n--- {name}{suffix} ---")
+        # With --json, stdout carries only the payload.
+        print(f"\n--- {name}{suffix} ---", file=sys.stderr if args.json else sys.stdout)
         if not cell.ok:
             print(
                 f"error: {name} failed after {cell.attempts} attempt(s): {cell.error}",
@@ -598,9 +644,19 @@ def _run_report(args) -> int:
             )
             failures.append(name)
             continue
-        _render_report(name, cell.value)
+        if args.json:
+            payload[name] = cell.value
+        else:
+            _render_report(name, cell.value)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            payload[names[0]] if len(names) == 1 and names[0] in payload else payload,
+            sort_keys=True, default=repr,
+        ))
     if len(names) > 1:
-        print(f"\n[repro] {runner.summary()}")
+        print(f"\n[repro] {runner.summary()}", file=sys.stderr if args.json else sys.stdout)
     return 1 if failures else 0
 
 
@@ -640,7 +696,13 @@ def _run_sweep_cmd(args) -> int:
             cache_dir=args.cache_dir,
             resume=args.resume,
             options=options,
+            families=tuple(args.families) if args.families else None,
         )
+    except ValueError as exc:
+        # Driver-level validation (e.g. an unknown --families entry):
+        # one line on stderr, cell-failure exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except SweepCellsFailed as exc:
         _warn_cell_failures(exc.failures)
         if not args.allow_partial:

@@ -65,15 +65,15 @@ SCHEMA_VERSION = 1
 PROFILES: Dict[str, Dict[str, int]] = {
     "smoke": {
         "rows": 64, "cols": 64, "b_cols": 16, "n_blocks": 128, "reps": 1,
-        "sweep_archs": 2, "tsolver_blocks": 16,
+        "sweep_archs": 2, "tsolver_blocks": 16, "scenario_scale": 64,
     },
     "quick": {
         "rows": 192, "cols": 160, "b_cols": 64, "n_blocks": 2048, "reps": 5,
-        "sweep_archs": 3, "tsolver_blocks": 256,
+        "sweep_archs": 3, "tsolver_blocks": 256, "scenario_scale": 16,
     },
     "full": {
         "rows": 384, "cols": 320, "b_cols": 128, "n_blocks": 8192, "reps": 5,
-        "sweep_archs": 6, "tsolver_blocks": 256,
+        "sweep_archs": 6, "tsolver_blocks": 256, "scenario_scale": 8,
     },
 }
 
@@ -309,9 +309,43 @@ def _macro_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Cal
     ]
 
 
+def _scenario_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Callable[[], None]]]:
+    """Scenario-family generation benches, one per workload family.
+
+    Each times the full lowering path ``build_scenario`` runs under the
+    TBS regime -- synthetic weights, the family's structural transform
+    (stencil tap structure / MoE block-diagonal combine / inference
+    projections) and the pattern projection -- at the profile's pinned
+    ``scenario_scale``, so a regression in any family's generator shows
+    up before the ``run_scenarios`` sweep does.
+    """
+    from ..workloads.scenarios import SCENARIO_FAMILIES, build_scenario
+
+    scale = sizes["scenario_scale"]
+    benches: List[Tuple[str, int, Callable[[], None]]] = []
+    for family in SCENARIO_FAMILIES:
+        bundle = build_scenario(family, "TBS", seed=seed, scale=scale)
+        cells = sum(wl.values.size for wl in bundle.layers) + bundle.format_workload.values.size
+        benches.append(
+            (
+                f"scenario_{family}",
+                int(cells),
+                lambda family=family, scale=scale: build_scenario(
+                    family, "TBS", seed=seed, scale=scale
+                ),
+            )
+        )
+    return benches
+
+
 def _all_benches(sizes: Dict[str, int], seed: int) -> List[Tuple[str, int, Callable[[], None]]]:
     """The whole suite, in its canonical order."""
-    return _micro_benches(sizes, seed) + _tsolver_benches(sizes, seed) + _macro_benches(sizes, seed)
+    return (
+        _micro_benches(sizes, seed)
+        + _tsolver_benches(sizes, seed)
+        + _scenario_benches(sizes, seed)
+        + _macro_benches(sizes, seed)
+    )
 
 
 def _time_bench(

@@ -28,7 +28,7 @@ from ..core.sparsify import TBSResult, tbs_sparsify
 from ..core.transposable import transposable_sparsify
 from .layers import LayerSpec
 
-__all__ = ["GEMMWorkload", "synthetic_weights", "build_workload"]
+__all__ = ["GEMMWorkload", "synthetic_weights", "build_workload", "pattern_mask"]
 
 
 @dataclass
@@ -48,6 +48,18 @@ class GEMMWorkload:
             raise ValueError("values and mask shapes differ")
         if self.b_cols < 1:
             raise ValueError("b_cols must be positive")
+        # The fault injectors (and every consumer of ``mask``) assume a
+        # boolean array; a float/int mask would silently change bitflip
+        # targeting and nnz arithmetic.  Exact 0/1 arrays are coerced,
+        # anything else is rejected.
+        if self.mask.dtype != np.bool_:
+            mask = np.asarray(self.mask)
+            if not np.isin(mask, (0, 1)).all():
+                raise ValueError(
+                    f"mask must be boolean (or exactly 0/1), got dtype {mask.dtype} "
+                    "with values outside {0, 1}"
+                )
+            self.mask = mask.astype(bool)
 
     @property
     def shape(self):
@@ -121,6 +133,35 @@ def synthetic_weights(
     return weights
 
 
+def pattern_mask(
+    weights: np.ndarray,
+    family: PatternFamily,
+    sparsity: float,
+    m: int = DEFAULT_M,
+    tsolver: Optional[str] = None,
+):
+    """Project ``weights`` onto ``family`` at ``sparsity``.
+
+    Returns ``(mask, tbs)`` where ``tbs`` is the :class:`TBSResult`
+    metadata for the TBS family and ``None`` otherwise.  This is the
+    per-family dispatch shared by :func:`build_workload` and the
+    scenario generators (stencil/MoE/inference24), including the
+    paper's STC caveat: the TS baseline always runs 4:8, so its
+    effective sparsity saturates at 50%.
+    """
+    if family is PatternFamily.TBS:
+        tbs = tbs_sparsify(weights, m=m, sparsity=sparsity)
+        return tbs.mask, tbs
+    if family is PatternFamily.NMT:
+        mask, _ = transposable_sparsify(weights, m=m, sparsity=sparsity, backend=tsolver)
+        return mask, None
+    if family is PatternFamily.TS:
+        # NVIDIA STC supports only the fixed 2:4/4:8 ratio.
+        effective = min(sparsity, 0.5)
+        return make_mask(weights, PatternSpec(PatternFamily.TS, m=m, sparsity=effective)), None
+    return make_mask(weights, PatternSpec(family, m=m, sparsity=sparsity)), None
+
+
 def build_workload(
     layer: LayerSpec,
     family: PatternFamily,
@@ -143,19 +184,7 @@ def build_workload(
     """
     spec_layer = layer.scaled(scale, m=m) if scale > 1 else layer
     weights = synthetic_weights(spec_layer.rows, spec_layer.cols, seed=seed)
-
-    tbs = None
-    if family is PatternFamily.TBS:
-        tbs = tbs_sparsify(weights, m=m, sparsity=sparsity)
-        mask = tbs.mask
-    elif family is PatternFamily.NMT:
-        mask, _ = transposable_sparsify(weights, m=m, sparsity=sparsity, backend=tsolver)
-    elif family is PatternFamily.TS:
-        # NVIDIA STC supports only the fixed 2:4/4:8 ratio.
-        effective = min(sparsity, 0.5)
-        mask = make_mask(weights, PatternSpec(PatternFamily.TS, m=m, sparsity=effective))
-    else:
-        mask = make_mask(weights, PatternSpec(family, m=m, sparsity=sparsity))
+    mask, tbs = pattern_mask(weights, family, sparsity, m=m, tsolver=tsolver)
 
     return GEMMWorkload(
         name=f"{spec_layer.name}[{family.name}@{sparsity:.0%}]",

@@ -1,0 +1,57 @@
+"""Tests for the ``run_scenarios`` workload-family win/loss driver.
+
+The golden pin lives in ``tests/golden``; here we check the driver's
+structure, its family filtering/validation contract, and the sweep-layer
+guarantee the report stands on: the aggregated table is byte-identical
+whether the cells run serially or across a worker pool.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import run_scenarios
+from repro.formats import ORIENTATIONS, available_formats
+from repro.workloads.scenarios import SCENARIO_FAMILIES, SCENARIO_PATTERNS
+
+
+def _canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True, default=repr)
+
+
+class TestRunScenarios:
+    def test_structure_covers_the_grid(self):
+        res = run_scenarios(scale=64, workers=1)
+        assert sorted(res) == sorted(SCENARIO_FAMILIES)
+        for family, entry in res.items():
+            assert sorted(entry["patterns"]) == sorted(SCENARIO_PATTERNS), family
+            assert sorted(entry["formats"]) == sorted(available_formats()), family
+            for fmt, rows in entry["formats"].items():
+                assert sorted(rows) == sorted(ORIENTATIONS), (family, fmt)
+
+    def test_families_filtering(self):
+        res = run_scenarios(families=("inference24",), scale=64, workers=1)
+        assert sorted(res) == ["inference24"]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload family 'bogus'"):
+            run_scenarios(families=("bogus",), scale=64, workers=1)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario pattern"):
+            run_scenarios(patterns=("8:8",), scale=64, workers=1)
+
+    def test_speedup_vs_dense_normalised(self):
+        res = run_scenarios(scale=64, workers=1)
+        for family, entry in res.items():
+            assert entry["speedup_vs_dense"]["dense"] == pytest.approx(1.0), family
+
+
+class TestScenariosDeterminism:
+    def test_workers_do_not_change_the_bytes(self):
+        """Serial and 4-worker runs must agree byte-for-byte: the cells
+        are pure functions of their keys and the aggregation folds in
+        spec order, not completion order."""
+        serial = run_scenarios(scale=64, workers=1)
+        pooled = run_scenarios(scale=64, workers=4)
+        assert _canon(serial) == _canon(pooled)

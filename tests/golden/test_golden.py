@@ -32,6 +32,7 @@ _GOLDEN_DIR = Path(__file__).parent
 _SIMRESULT_GOLDEN = _GOLDEN_DIR / "simresult_tbstc_64x64.json"
 _TABLE1_GOLDEN = _GOLDEN_DIR / "table1_mlp_seed0.json"
 _FIG7BOTH_GOLDEN = _GOLDEN_DIR / "fig7both_64.json"
+_SCENARIOS_GOLDEN = _GOLDEN_DIR / "scenarios_64.json"
 _PLACES = 6
 
 
@@ -66,6 +67,12 @@ def _fig7both_payload():
     from repro.analysis.experiments import run_fig7_both_passes
 
     return run_fig7_both_passes(sparsities=(0.5, 0.75, 0.875), seed=0, size=64, workers=1)
+
+
+def _scenarios_payload():
+    from repro.analysis.experiments import run_scenarios
+
+    return run_scenarios(scale=64, workers=1)
 
 
 class TestSimResultGolden:
@@ -120,6 +127,62 @@ class TestFig7BothGolden:
                 assert row["backward_traced_bytes"] == row["forward_traced_bytes"], key
 
 
+class TestScenariosGolden:
+    """Pins the scale-64 win/loss table of ``run_scenarios``: every
+    workload family x pattern regime, simulated cycles plus the full
+    format x orientation traffic grid."""
+
+    def test_matches_golden_file(self):
+        expected = json.loads(_SCENARIOS_GOLDEN.read_text())
+        actual = json.loads(_canon(_scenarios_payload()))
+        assert sorted(actual) == sorted(expected), "scenario family set changed"
+        for family in expected:
+            assert sorted(actual[family]["formats"]) == sorted(expected[family]["formats"]), (
+                f"scenarios[{family!r}] format set changed"
+            )
+        assert actual == expected
+
+    def test_covers_the_full_grid(self):
+        """>= 3 families x >= 5 formats x both orientations, every
+        pattern regime scored per cell (the acceptance floor)."""
+        from repro.formats import ORIENTATIONS, available_formats
+        from repro.workloads.scenarios import SCENARIO_FAMILIES, SCENARIO_PATTERNS
+
+        table = json.loads(_SCENARIOS_GOLDEN.read_text())
+        assert sorted(table) == sorted(SCENARIO_FAMILIES)
+        for family, entry in table.items():
+            assert sorted(entry["patterns"]) == sorted(SCENARIO_PATTERNS), family
+            assert sorted(entry["formats"]) == sorted(available_formats()), family
+            for fmt, rows in entry["formats"].items():
+                assert sorted(rows) == sorted(ORIENTATIONS), (family, fmt)
+                for orientation, row in rows.items():
+                    assert set(SCENARIO_PATTERNS) <= set(row), (family, fmt, orientation)
+                    assert row["winner"] in set(SCENARIO_PATTERNS) | {"tie"}
+
+    def test_inference24_is_the_baselines_home_game(self):
+        """One-shot 2:4 pruning is STC's native regime: the committed
+        table must show the 2:4 pattern winning its cycle race there
+        while TBS takes the stencil family."""
+        table = json.loads(_SCENARIOS_GOLDEN.read_text())
+        assert table["inference24"]["cycle_winner"] == "2:4"
+        assert table["stencil"]["cycle_winner"] == "TBS"
+
+    def test_tbs_never_fetches_more_than_dense_on_structured_families(self):
+        """Stencil structure and MoE block-diagonal zeros are exactly
+        what TBS's per-block N=0 skipping absorbs: across every format
+        and orientation its traffic must not exceed the dense regime's."""
+        table = json.loads(_SCENARIOS_GOLDEN.read_text())
+        for family in ("stencil", "moe"):
+            for fmt, rows in table[family]["formats"].items():
+                for orientation, row in rows.items():
+                    assert row["TBS"] <= row["dense"], (family, fmt, orientation)
+
+    def test_dense_speedup_is_unity(self):
+        table = json.loads(_SCENARIOS_GOLDEN.read_text())
+        for family, entry in table.items():
+            assert entry["speedup_vs_dense"]["dense"] == 1.0, family
+
+
 def _regenerate() -> None:  # pragma: no cover - maintenance entry point
     _SIMRESULT_GOLDEN.write_text(_canon(_simresult_payload()))
     print(f"wrote {_SIMRESULT_GOLDEN}")
@@ -127,6 +190,8 @@ def _regenerate() -> None:  # pragma: no cover - maintenance entry point
     print(f"wrote {_TABLE1_GOLDEN}")
     _FIG7BOTH_GOLDEN.write_text(_canon(_fig7both_payload()))
     print(f"wrote {_FIG7BOTH_GOLDEN}")
+    _SCENARIOS_GOLDEN.write_text(_canon(_scenarios_payload()))
+    print(f"wrote {_SCENARIOS_GOLDEN}")
 
 
 if __name__ == "__main__":  # pragma: no cover

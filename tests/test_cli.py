@@ -42,6 +42,13 @@ class TestParser:
 
         assert _ORIENTATIONS == ORIENTATIONS
 
+    def test_scenario_families_match_workloads(self):
+        """The parser's local copy must track the scenario registry."""
+        from repro.cli import _SCENARIO_FAMILIES
+        from repro.workloads.scenarios import SCENARIO_FAMILIES
+
+        assert _SCENARIO_FAMILIES == SCENARIO_FAMILIES
+
 
 class TestReport:
     def test_table3(self, capsys):
@@ -105,6 +112,52 @@ class TestReport:
 
         assert main(["report", "fig4", "--strict-checks"]) == 0
         assert get_check_level() == "off"  # flag must not leak globally
+
+
+class TestScenariosCli:
+    """The ``report scenarios`` win/loss table and its family filtering."""
+
+    def test_renders_both_tables(self, capsys):
+        assert main(["report", "scenarios", "--scale", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "family/format/orientation" in out
+        for family in ("stencil", "moe", "inference24"):
+            assert family in out
+        assert "winner" in out
+
+    def test_json_round_trips_the_driver_output(self, capsys):
+        from repro.analysis.experiments import run_scenarios
+
+        assert main(["report", "scenarios", "--scale", "64", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = json.loads(
+            json.dumps(run_scenarios(scale=64, workers=1), sort_keys=True, default=repr)
+        )
+        assert payload == expected
+
+    def test_families_filtering(self, capsys):
+        assert main([
+            "report", "scenarios", "--scale", "64", "--families", "inference24", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["inference24"]
+
+    def test_unknown_family_fails_with_one_line(self, capsys):
+        assert main([
+            "report", "scenarios", "--scale", "64", "--families", "bogus", "--retries", "0",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "unknown workload family 'bogus'" in err
+        assert "Traceback" not in err
+
+    def test_sweep_unknown_family_fails_with_one_line(self, capsys):
+        assert main(["sweep", "scenarios", "--families", "bogus"]) == 1
+        captured = capsys.readouterr()
+        error_lines = [l for l in captured.err.splitlines() if l.startswith("error:")]
+        assert error_lines == [
+            "error: unknown workload family 'bogus'; known: stencil, moe, inference24"
+        ]
+        assert "Traceback" not in captured.err
 
 
 class TestPrune:

@@ -121,6 +121,30 @@ class TestBuildWorkload:
             GEMMWorkload("x", np.ones((4, 4)), np.ones((2, 2), dtype=bool), 4)
 
 
+class TestGEMMWorkloadMaskDtype:
+    """Regression: non-boolean masks used to pass through silently."""
+
+    def test_int_01_mask_coerced_to_bool(self):
+        from repro.workloads.generator import GEMMWorkload
+
+        wl = GEMMWorkload("x", np.ones((4, 4)), np.eye(4, dtype=np.int64), 4)
+        assert wl.mask.dtype == np.bool_
+        assert wl.nnz == 4
+
+    def test_float_01_mask_coerced_to_bool(self):
+        from repro.workloads.generator import GEMMWorkload
+
+        wl = GEMMWorkload("x", np.ones((4, 4)), np.eye(4), 4)
+        assert wl.mask.dtype == np.bool_
+        assert wl.sparsity == 0.75
+
+    def test_non_binary_mask_rejected(self):
+        from repro.workloads.generator import GEMMWorkload
+
+        with pytest.raises(ValueError, match="mask must be boolean"):
+            GEMMWorkload("x", np.ones((4, 4)), np.full((4, 4), 0.5), 4)
+
+
 class TestModelWorkloads:
     def test_iso_accuracy_lookup(self):
         bundle = build_model_workload("resnet50", PatternFamily.TBS, scale=8)
